@@ -1,0 +1,23 @@
+"""Figure 4 — learned control points of SelNet-ct vs SelNet-ad-ct.
+
+Paper reference: SelNet-ad-ct reuses the same τ values for every query (only
+the x-coordinates of its control points are shared), while SelNet-ct places
+them differently per query and fits the ground-truth selectivity curve more
+closely.  The reproduction measures the spread of the learned τ values across
+two random queries and the curve fit of both variants.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure4_control_points
+
+
+def test_figure4_control_points(scale, save_result, benchmark):
+    figure = run_once(benchmark, lambda: figure4_control_points("fasttext-cos", scale=scale))
+    save_result("figure4_control_points", figure.text)
+    # SelNet-ad-ct's control-point abscissae must be identical across queries;
+    # SelNet-ct's must differ (that is the whole point of the figure).
+    assert figure.series["tau_spread_SelNet-ad-ct"][0] <= 1e-9
+    assert figure.series["tau_spread_SelNet-ct"][0] > 1e-6

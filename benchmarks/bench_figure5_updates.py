@@ -1,0 +1,33 @@
+"""Figure 5 — accuracy across a stream of insert/delete operations.
+
+Paper reference: over 100 operations of 5 records each, incremental learning
+keeps MSE and MAPE roughly flat on face-cos and fasttext-cos (no blow-up as
+the database drifts).  The reproduction runs a shorter stream (scaled with
+everything else; set num_operations higher for the paper's full 100) and
+checks that the final error has not exploded relative to the initial one.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure5_updates
+
+
+def test_figure5_updates(scale, save_result, benchmark):
+    num_operations = 10 if scale.name != "tiny" else 4
+    figure = run_once(
+        benchmark,
+        lambda: figure5_updates(
+            settings=("face-cos", "fasttext-cos"),
+            scale=scale,
+            num_operations=num_operations,
+        ),
+    )
+    save_result("figure5_updates", figure.text)
+    for setting in ("face-cos", "fasttext-cos"):
+        mse = figure.series[f"{setting}_mse"]
+        assert len(mse) == num_operations
+        # The error may drift as the database changes, but incremental
+        # learning must keep it in the same ballpark (no order-of-magnitude blow-up).
+        assert mse[-1] <= 5.0 * max(mse[0], 1.0)

@@ -1,0 +1,26 @@
+"""Table 10 — cover-tree (CT) vs random (RP) vs k-means (KM) partitioning.
+
+Paper reference (fasttext-l2, K = 3): CT 7.87, RP 8.02, KM 9.14 in MSE —
+CT is slightly better than RP, and KM is the worst because its partitions
+are imbalanced.  The reproduction checks that CT is not the worst method.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_partition_method_table
+
+
+def test_table10_partition_methods(scale, save_result, benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_partition_method_table(
+            "fasttext-l2", methods=("ct", "rp", "km"), num_partitions=3, scale=scale
+        ),
+    )
+    save_result("table10_partition_methods", result.text)
+    by_method = {row["method"]: row["mse"] for row in result.rows}
+    assert set(by_method) == {"CT", "RP", "KM"}
+    worst = max(by_method, key=by_method.get)
+    assert worst != "CT", "cover-tree partitioning should not be the worst method"

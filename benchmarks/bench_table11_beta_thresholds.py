@@ -1,0 +1,36 @@
+"""Table 11 — accuracy on fasttext-cos with Beta(3, 2.5) thresholds.
+
+Paper reference: with thresholds drawn from a Beta distribution (instead of
+the geometric-selectivity workload) every model degrades because the
+selectivity range widens, but SelNet remains the best (MSE 1.62e8 vs UMNN
+6.09e8).  The reproduction runs the same workload change and checks SelNet is
+still the best consistent estimator.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_accuracy_table
+
+
+def test_table11_beta_thresholds(scale, save_result, benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_accuracy_table(
+            "fasttext-cos", scale=scale, threshold_distribution="beta"
+        ),
+    )
+    save_result("table11_beta_thresholds", result.text)
+    assert result.table_id == "Table 11"
+    # Shape check: SelNet beats the starred learned / density estimators.
+    # LSH is reported in the table but excluded from the assertion: at the
+    # reproduction's laptop scale its sampling budget covers several percent
+    # of the database (vs 0.2% in the paper), which makes it near-exact and
+    # inflates its standing relative to the paper (see EXPERIMENTS.md,
+    # "Known deviations").
+    starred = {"KDE", "DLN", "UMNN", "SelNet"}
+    rows = {row["model"]: row for row in result.rows if row["model"] in starred}
+    assert rows["SelNet"]["mse_test"] == min(row["mse_test"] for row in rows.values()), (
+        "SelNet should be the most accurate of the starred non-sampling models"
+    )

@@ -1,0 +1,32 @@
+"""Table 1 — accuracy of every model on fasttext-cos.
+
+Paper reference values (fasttext-cos, test split): SelNet MSE 5.08e5,
+best prior consistent model (UMNN) 24.69e5, i.e. SelNet wins by ~4.9x in MSE
+and wins MAE/MAPE as well.  The reproduction checks the same ordering at the
+synthetic laptop scale.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_accuracy_table
+
+
+def test_table1_fasttext_cos(scale, save_result, benchmark):
+    result = run_once(benchmark, lambda: run_accuracy_table("fasttext-cos", scale=scale))
+    save_result("table1_fasttext_cos", result.text)
+    models = {row["model"]: row for row in result.rows}
+    assert "SelNet" in models
+    # Shape check: SelNet is the most accurate consistent estimator.
+    # Shape check: SelNet beats the starred learned / density estimators.
+    # LSH is reported in the table but excluded from the assertion: at the
+    # reproduction's laptop scale its sampling budget covers several percent
+    # of the database (vs 0.2% in the paper), which makes it near-exact and
+    # inflates its standing relative to the paper (see EXPERIMENTS.md,
+    # "Known deviations").
+    starred = {"KDE", "DLN", "UMNN", "SelNet"}
+    rows = {row["model"]: row for row in result.rows if row["model"] in starred}
+    assert rows["SelNet"]["mse_test"] == min(row["mse_test"] for row in rows.values()), (
+        "SelNet should be the most accurate of the starred non-sampling models"
+    )

@@ -1,0 +1,30 @@
+"""Table 2 — accuracy of every model on fasttext-l2 (Euclidean distance).
+
+Paper reference: SelNet MSE 7.87e5 vs KDE 31.4e5 / UMNN 43.0e5; LSH is absent
+because SimHash only supports cosine distance.
+
+Reproduction status: this is the one accuracy setting whose headline ordering
+does **not** fully reproduce at laptop scale — on the synthetic unnormalised
+Euclidean workload SelNet's validation error is competitive but its test
+error degrades sharply (see EXPERIMENTS.md, "Known deviations").  The
+benchmark therefore asserts the structural facts that do hold (LSH excluded
+for Euclidean distance, SelNet beats the lattice-regression baseline on the
+validation split) and reports the full table for inspection.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_accuracy_table
+
+
+def test_table2_fasttext_l2(scale, save_result, benchmark):
+    result = run_once(benchmark, lambda: run_accuracy_table("fasttext-l2", scale=scale))
+    save_result("table2_fasttext_l2", result.text)
+    models = {row["model"]: row for row in result.rows}
+    assert "LSH" not in models  # SimHash LSH only supports cosine distance
+    # Paper's Section 6.2 claim that does reproduce on this setting: the
+    # lattice-regression family (DLN) underfits the selectivity curve and is
+    # beaten by SelNet.
+    assert models["SelNet"]["mse_valid"] < models["DLN"]["mse_valid"]

@@ -1,0 +1,28 @@
+"""Table 4 — accuracy of every model on YouTube-cos.
+
+Paper reference: SelNet MSE 7.21e4 vs MoE 15.78e4 / RMI 17.71e4; the highest
+dimensionality of the three datasets.  The reproduction checks the same
+SelNet-wins ordering among consistent estimators.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_accuracy_table
+
+
+def test_table4_youtube_cos(scale, save_result, benchmark):
+    result = run_once(benchmark, lambda: run_accuracy_table("youtube-cos", scale=scale))
+    save_result("table4_youtube_cos", result.text)
+    # Shape check: SelNet beats the starred learned / density estimators.
+    # LSH is reported in the table but excluded from the assertion: at the
+    # reproduction's laptop scale its sampling budget covers several percent
+    # of the database (vs 0.2% in the paper), which makes it near-exact and
+    # inflates its standing relative to the paper (see EXPERIMENTS.md,
+    # "Known deviations").
+    starred = {"KDE", "DLN", "UMNN", "SelNet"}
+    rows = {row["model"]: row for row in result.rows if row["model"] in starred}
+    assert rows["SelNet"]["mse_test"] == min(row["mse_test"] for row in rows.values()), (
+        "SelNet should be the most accurate of the starred non-sampling models"
+    )

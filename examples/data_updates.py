@@ -1,0 +1,82 @@
+"""Keeping a SelNet estimator accurate under database updates.
+
+Section 5.4 of the paper describes an incremental-learning procedure: after a
+batch of insertions or deletions the model's validation error is re-checked;
+only if it has drifted beyond a threshold are the labels refreshed and the
+current model fine-tuned (never retrained from scratch).
+
+This example fits SelNet-ct, streams insert/delete operations into the
+database, and prints the evolution of the test error along with when the
+estimator decided to fine-tune itself.
+
+Run with::
+
+    python examples/data_updates.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    IncrementalConfig,
+    IncrementalSelNet,
+    SelNetConfig,
+    SelNetEstimator,
+    build_workload_split,
+    make_dataset,
+)
+from repro.data import SelectivityOracle, apply_update, generate_update_stream, relabel_workload
+from repro.eval import compute_error_metrics
+
+
+def main() -> None:
+    dataset = make_dataset("face_like", num_vectors=1500, dim=16, num_clusters=25, seed=9)
+    split = build_workload_split(
+        dataset,
+        "cosine",
+        num_queries=150,
+        thresholds_per_query=16,
+        max_selectivity_fraction=0.25,
+        seed=4,
+    )
+    estimator = SelNetEstimator(
+        SelNetConfig(num_control_points=12, epochs=30, num_partitions=1, seed=0)
+    ).fit(split)
+
+    incremental = IncrementalSelNet(
+        estimator=estimator,
+        data=dataset.vectors,
+        distance=split.distance,
+        train=split.train,
+        validation=split.validation,
+        config=IncrementalConfig(mae_drift_threshold=3.0, max_epochs=10),
+    )
+
+    operations = generate_update_stream(
+        dataset.vectors, num_operations=12, records_per_operation=25, seed=1
+    )
+    print("op  kind     |D|     val MAE   retrained   test MSE    test MAPE")
+    current_data = dataset.vectors
+    test = split.test
+    for step, operation in enumerate(operations, start=1):
+        report = incremental.apply_operation(operation)
+
+        # Re-evaluate on the test workload against the *updated* database.
+        current_data = apply_update(current_data, operation)
+        oracle = SelectivityOracle(current_data, split.distance)
+        test = relabel_workload(test, oracle)
+        estimates = incremental.estimate(test.queries, test.thresholds)
+        metrics = compute_error_metrics(estimates, test.selectivities)
+        print(
+            f"{step:>2}  {report.operation_kind:<7} {report.database_size:>5} "
+            f"{report.validation_mae_after:>9.2f}   {str(report.retrained):<9} "
+            f"{metrics.mse:>9.1f}   {metrics.mape:>8.3f}"
+        )
+
+    retrains = sum(report.retrained for report in incremental.reports)
+    print(f"\nfine-tuned after {retrains} of {len(operations)} update operations")
+
+
+if __name__ == "__main__":
+    main()

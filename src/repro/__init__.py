@@ -1,0 +1,59 @@
+"""SelNet reproduction: consistent and flexible selectivity estimation.
+
+This package reproduces "Consistent and Flexible Selectivity Estimation for
+High-dimensional Data" (Wang et al., SIGMOD 2021): the SelNet estimator, all
+of its substrates (numpy autodiff, neural-network layers, cover-tree
+partitioning, synthetic workloads) and the nine comparison baselines.
+
+Quick start::
+
+    from repro import make_dataset, build_workload_split, SelNetEstimator, SelNetConfig
+
+    dataset = make_dataset("face_like", num_vectors=2000)
+    split = build_workload_split(dataset, "cosine", num_queries=60)
+    estimator = SelNetEstimator(SelNetConfig(epochs=30)).fit(split)
+    estimate = estimator.estimate(split.test.queries, split.test.thresholds)
+"""
+
+from .core import (
+    IncrementalConfig,
+    IncrementalSelNet,
+    PartitionedSelNet,
+    PiecewiseLinearCurve,
+    SelNetConfig,
+    SelNetEstimator,
+    SelNetModel,
+)
+from .data import (
+    Dataset,
+    SelectivityOracle,
+    Workload,
+    WorkloadSplit,
+    build_workload_split,
+    generate_workload,
+    make_dataset,
+)
+from .distances import get_distance
+from .estimator import SelectivityEstimator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SelectivityEstimator",
+    "SelNetConfig",
+    "IncrementalConfig",
+    "SelNetEstimator",
+    "SelNetModel",
+    "PartitionedSelNet",
+    "IncrementalSelNet",
+    "PiecewiseLinearCurve",
+    "Dataset",
+    "make_dataset",
+    "Workload",
+    "WorkloadSplit",
+    "generate_workload",
+    "build_workload_split",
+    "SelectivityOracle",
+    "get_distance",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Reverse-mode autodiff engine used as the deep-learning substrate."""
+
+from .functional import (
+    cumsum,
+    dropout,
+    gather_rows,
+    huber,
+    log_softmax,
+    logsumexp,
+    norm_l2_squared,
+    piecewise_linear,
+    prefix_sum_matrix,
+    softmax,
+)
+from .gradcheck import check_gradients, numerical_gradient
+from .tensor import Tensor, concat, maximum, minimum, stack, unbroadcast, where
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "unbroadcast",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "norm_l2_squared",
+    "cumsum",
+    "prefix_sum_matrix",
+    "dropout",
+    "piecewise_linear",
+    "huber",
+    "gather_rows",
+    "check_gradients",
+    "numerical_gradient",
+]

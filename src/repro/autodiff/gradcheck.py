@@ -1,0 +1,77 @@
+"""Numerical gradient checking utilities.
+
+Used by the test suite to verify every differentiable operation and every
+network module against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Parameters
+    ----------
+    fn:
+        Function taking the tensors in ``inputs`` and returning a tensor.
+    inputs:
+        The input tensors; the one at position ``index`` is perturbed.
+    index:
+        Which input to differentiate with respect to.
+    epsilon:
+        Finite-difference step.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - epsilon
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    epsilon: float = 1e-6,
+) -> bool:
+    """Compare analytic and numerical gradients of ``sum(fn(*inputs))``.
+
+    Returns ``True`` when all gradients match within tolerance; raises
+    ``AssertionError`` with a diagnostic message otherwise.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = fn(*inputs)
+    output.sum().backward()
+    for position, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, inputs, position, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {position}: max abs diff {worst:.3e}\n"
+                f"analytic=\n{analytic}\nnumeric=\n{numeric}"
+            )
+    return True

@@ -1,0 +1,45 @@
+"""Baseline selectivity estimators the paper compares SelNet against."""
+
+from .base import DeepRegressionEstimator, QueryThresholdRegressor, ThresholdEmbedding
+from .dln import Calibrator, DeepLatticeNetwork, DLNEstimator, Lattice
+from .dnn import DNNEstimator
+from .gbdt import (
+    GradientBoostingRegressor,
+    LightGBMEstimator,
+    RegressionTree,
+    bin_features,
+    build_bin_edges,
+)
+from .isotonic import IsotonicCalibratedEstimator, pool_adjacent_violators
+from .kde import KDEEstimator
+from .lsh import LSHEstimator
+from .moe import MixtureOfExperts, MoEEstimator
+from .rmi import RecursiveModelIndex, RMIEstimator
+from .umnn import UMNNEstimator, UMNNModel, clenshaw_curtis
+
+__all__ = [
+    "ThresholdEmbedding",
+    "QueryThresholdRegressor",
+    "DeepRegressionEstimator",
+    "KDEEstimator",
+    "LSHEstimator",
+    "LightGBMEstimator",
+    "GradientBoostingRegressor",
+    "RegressionTree",
+    "build_bin_edges",
+    "bin_features",
+    "DNNEstimator",
+    "MoEEstimator",
+    "MixtureOfExperts",
+    "RMIEstimator",
+    "RecursiveModelIndex",
+    "DLNEstimator",
+    "DeepLatticeNetwork",
+    "Calibrator",
+    "Lattice",
+    "UMNNEstimator",
+    "UMNNModel",
+    "clenshaw_curtis",
+    "IsotonicCalibratedEstimator",
+    "pool_adjacent_violators",
+]

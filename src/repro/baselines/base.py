@@ -1,0 +1,137 @@
+"""Shared infrastructure for the baseline estimators.
+
+The deep-learning baselines (DNN, MoE, RMI) cannot consume the raw threshold
+directly (paper, Appendix B.2): the scalar ``t`` is first lifted into an
+``m``-dimensional embedding ``ReLU(w t)`` which is learned jointly with the
+regressor, then concatenated with the query vector.  :class:`ThresholdEmbedding`
+implements that lifting; :class:`DeepRegressionEstimator` is the common
+training shell the three ordinary-regression baselines share.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, concat
+from ..data.workload import WorkloadSplit
+from ..estimator import SelectivityEstimator
+from ..nn import Linear, Module, TrainingConfig, fit_regressor, log_huber_loss
+
+
+class ThresholdEmbedding(Module):
+    """Learned non-linear lifting of the scalar threshold, ``ReLU(w t)``."""
+
+    def __init__(self, embedding_dim: int = 8, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.embedding_dim = embedding_dim
+        self.projection = Linear(1, embedding_dim, rng=rng)
+
+    def forward(self, thresholds: Tensor) -> Tensor:
+        if not isinstance(thresholds, Tensor):
+            thresholds = Tensor(np.asarray(thresholds, dtype=np.float64).reshape(-1, 1))
+        elif thresholds.ndim == 1:
+            thresholds = thresholds.reshape(len(thresholds), 1)
+        return self.projection(thresholds).relu()
+
+
+class QueryThresholdRegressor(Module):
+    """Wraps a core network with the ``[x ; embed(t)]`` input convention."""
+
+    def __init__(
+        self,
+        core: Module,
+        threshold_embedding: ThresholdEmbedding,
+    ) -> None:
+        super().__init__()
+        self.core = core
+        self.threshold_embedding = threshold_embedding
+
+    def forward(self, queries: Tensor, thresholds: np.ndarray) -> Tensor:
+        if not isinstance(queries, Tensor):
+            queries = Tensor(queries)
+        embedded = self.threshold_embedding(Tensor(np.asarray(thresholds, dtype=np.float64).reshape(-1, 1)))
+        combined = concat([queries, embedded], axis=1)
+        output = self.core(combined)
+        if output.ndim == 2 and output.shape[1] == 1:
+            output = output.reshape(output.shape[0])
+        return output
+
+
+class DeepRegressionEstimator(SelectivityEstimator):
+    """Common fit/estimate shell for the ordinary deep-regression baselines.
+
+    Subclasses provide :meth:`build_core`, which constructs the network that
+    maps the combined ``[x ; embed(t)]`` input to a scalar.  Training uses the
+    same Huber-on-log loss as SelNet (the paper trains all models with it for
+    a fair comparison).
+    """
+
+    guarantees_consistency = False
+
+    def __init__(
+        self,
+        threshold_embedding_dim: int = 8,
+        epochs: int = 60,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        early_stopping_patience: Optional[int] = 15,
+        seed: int = 0,
+    ) -> None:
+        self.threshold_embedding_dim = threshold_embedding_dim
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.early_stopping_patience = early_stopping_patience
+        self.seed = seed
+        self.model: Optional[QueryThresholdRegressor] = None
+
+    # ------------------------------------------------------------------ #
+    def build_core(self, input_dim: int, rng: np.random.Generator) -> Module:
+        """Construct the regressor body; implemented by subclasses."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def fit(self, split: WorkloadSplit) -> "DeepRegressionEstimator":
+        rng = np.random.default_rng(self.seed)
+        query_dim = split.train.queries.shape[1]
+        core = self.build_core(query_dim + self.threshold_embedding_dim, rng)
+        self.model = QueryThresholdRegressor(core, ThresholdEmbedding(self.threshold_embedding_dim, rng=rng))
+
+        train_features = np.concatenate(
+            [split.train.queries, split.train.thresholds[:, None]], axis=1
+        )
+        valid_features = np.concatenate(
+            [split.validation.queries, split.validation.thresholds[:, None]], axis=1
+        )
+
+        def forward(model: QueryThresholdRegressor, batch: np.ndarray) -> Tensor:
+            queries, thresholds = batch[:, :-1], batch[:, -1]
+            return model(Tensor(queries), thresholds)
+
+        config = TrainingConfig(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            early_stopping_patience=self.early_stopping_patience,
+        )
+        fit_regressor(
+            self.model,
+            lambda prediction, targets: log_huber_loss(prediction, targets),
+            train_features,
+            split.train.selectivities,
+            config,
+            validation=(valid_features, split.validation.selectivities),
+            rng=rng,
+            forward=forward,
+        )
+        return self
+
+    def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("estimator must be fitted before calling estimate()")
+        queries = np.asarray(queries, dtype=np.float64)
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        output = self.model(Tensor(queries), thresholds)
+        return np.clip(output.data.reshape(len(queries)), 0.0, None)

@@ -1,0 +1,45 @@
+"""Vanilla feed-forward regression baseline ("DNN" in the paper).
+
+A plain FFN over ``[x ; embed(t)]``.  The paper uses four hidden layers of
+sizes 512/512/512/256; the default here is scaled down to match the
+laptop-scale synthetic workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import Module, feed_forward
+from .base import DeepRegressionEstimator
+
+
+class DNNEstimator(DeepRegressionEstimator):
+    """Unconstrained deep regression (no consistency guarantee)."""
+
+    name = "DNN"
+    guarantees_consistency = False
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (128, 128, 64),
+        threshold_embedding_dim: int = 8,
+        epochs: int = 60,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        early_stopping_patience: Optional[int] = 15,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            threshold_embedding_dim=threshold_embedding_dim,
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            early_stopping_patience=early_stopping_patience,
+            seed=seed,
+        )
+        self.hidden_sizes = tuple(hidden_sizes)
+
+    def build_core(self, input_dim: int, rng: np.random.Generator) -> Module:
+        return feed_forward(input_dim, list(self.hidden_sizes), 1, rng=rng)

@@ -1,0 +1,101 @@
+"""Isotonic regression utilities.
+
+The related-work section of the paper discusses isotonic regression as the
+classical monotone-fitting tool and explains why it does not directly apply
+to query-dependent selectivity estimation (it is non-parametric in a single
+variable).  Two uses are provided here:
+
+* :func:`pool_adjacent_violators` — the PAV algorithm, used by tests and by
+  the post-hoc consistency repair below.
+* :class:`IsotonicCalibratedEstimator` — a wrapper that makes any fitted
+  estimator consistent per query by projecting its per-query curve onto the
+  monotone cone.  This is an extension beyond the paper (its "future work"
+  style fix for inconsistent baselines) and is exercised by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.workload import WorkloadSplit
+from ..estimator import SelectivityEstimator
+
+
+def pool_adjacent_violators(values: np.ndarray, weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Least-squares isotonic (non-decreasing) projection of ``values``.
+
+    Classic pool-adjacent-violators algorithm, O(n).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if weights is None:
+        weights = np.ones_like(values)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("values must be 1-D")
+
+    # Each block is (total weight, weighted mean, count of elements).
+    block_weight = []
+    block_mean = []
+    block_count = []
+    for value, weight in zip(values, weights):
+        block_weight.append(float(weight))
+        block_mean.append(float(value))
+        block_count.append(1)
+        # Merge while the monotonicity constraint is violated.
+        while len(block_mean) > 1 and block_mean[-2] > block_mean[-1]:
+            w2, m2, c2 = block_weight.pop(), block_mean.pop(), block_count.pop()
+            w1, m1, c1 = block_weight.pop(), block_mean.pop(), block_count.pop()
+            merged_weight = w1 + w2
+            merged_mean = (w1 * m1 + w2 * m2) / merged_weight
+            block_weight.append(merged_weight)
+            block_mean.append(merged_mean)
+            block_count.append(c1 + c2)
+    out = np.empty_like(values)
+    position = 0
+    for mean, count in zip(block_mean, block_count):
+        out[position : position + count] = mean
+        position += count
+    return out
+
+
+class IsotonicCalibratedEstimator(SelectivityEstimator):
+    """Make any estimator consistent by per-query isotonic projection.
+
+    For each distinct query in a batch, the wrapped estimator's raw estimates
+    are sorted by threshold and projected onto the non-decreasing cone with
+    PAV.  Estimates for queries appearing only once are passed through
+    unchanged (a single point is trivially monotone).
+    """
+
+    guarantees_consistency = True
+
+    def __init__(self, base: SelectivityEstimator) -> None:
+        self.base = base
+        self.name = f"Isotonic({base.name})"
+
+    def fit(self, split: WorkloadSplit) -> "IsotonicCalibratedEstimator":
+        self.base.fit(split)
+        return self
+
+    def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float64)
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        raw = np.asarray(self.base.estimate(queries, thresholds), dtype=np.float64)
+
+        # Group identical query vectors so each group's curve can be repaired.
+        keys = [row.tobytes() for row in queries]
+        groups: dict = {}
+        for index, key in enumerate(keys):
+            groups.setdefault(key, []).append(index)
+        out = raw.copy()
+        for indices in groups.values():
+            if len(indices) < 2:
+                continue
+            indices = np.asarray(indices)
+            order = np.argsort(thresholds[indices], kind="stable")
+            ordered = indices[order]
+            out[ordered] = pool_adjacent_violators(raw[ordered])
+        return out

@@ -1,0 +1,95 @@
+"""Sparsely-gated Mixture-of-Experts regression baseline ("MoE" in the paper).
+
+A gating network scores ``num_experts`` expert FFNs; the top-k experts are
+activated and their outputs combined with softmax-renormalised gate weights
+(Shazeer et al., 2017).  The paper uses 30 experts with top-3 routing; the
+defaults here are scaled down.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, softmax, stack, where
+from ..nn import Module, Sequential, feed_forward
+from .base import DeepRegressionEstimator
+
+
+class MixtureOfExperts(Module):
+    """Top-k sparsely gated mixture of expert FFNs producing a scalar."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_experts: int = 8,
+        top_k: int = 3,
+        expert_hidden_sizes: Sequence[int] = (64, 64),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if top_k > num_experts:
+            raise ValueError("top_k cannot exceed num_experts")
+        if rng is None:
+            rng = np.random.default_rng()
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.experts: List[Sequential] = [
+            feed_forward(input_dim, list(expert_hidden_sizes), 1, rng=rng) for _ in range(num_experts)
+        ]
+        self.gate: Sequential = feed_forward(input_dim, [32], num_experts, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        gate_logits = self.gate(x)  # (batch, num_experts)
+        # Sparse top-k gating: mask non-top-k logits to -inf before softmax.
+        logits_data = gate_logits.data
+        if self.top_k < self.num_experts:
+            kth = np.partition(logits_data, -self.top_k, axis=1)[:, -self.top_k][:, None]
+            keep = logits_data >= kth
+            gate_logits = where(keep, gate_logits, Tensor(np.full_like(logits_data, -1e9)))
+        weights = softmax(gate_logits, axis=1)  # (batch, num_experts)
+        expert_outputs = stack(
+            [expert(x).reshape(x.shape[0]) for expert in self.experts], axis=1
+        )  # (batch, num_experts)
+        return (weights * expert_outputs).sum(axis=1)
+
+
+class MoEEstimator(DeepRegressionEstimator):
+    """Mixture-of-Experts selectivity regressor (no consistency guarantee)."""
+
+    name = "MoE"
+    guarantees_consistency = False
+
+    def __init__(
+        self,
+        num_experts: int = 8,
+        top_k: int = 3,
+        expert_hidden_sizes: Sequence[int] = (64, 64),
+        threshold_embedding_dim: int = 8,
+        epochs: int = 60,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        early_stopping_patience: Optional[int] = 15,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            threshold_embedding_dim=threshold_embedding_dim,
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            early_stopping_patience=early_stopping_patience,
+            seed=seed,
+        )
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.expert_hidden_sizes = tuple(expert_hidden_sizes)
+
+    def build_core(self, input_dim: int, rng: np.random.Generator) -> Module:
+        return MixtureOfExperts(
+            input_dim,
+            num_experts=self.num_experts,
+            top_k=self.top_k,
+            expert_hidden_sizes=self.expert_hidden_sizes,
+            rng=rng,
+        )

@@ -1,0 +1,119 @@
+"""Command-line interface for the experiment reproductions.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli table 3                 # Table 3 (face-cos accuracy)
+    python -m repro.cli table 6 --scale tiny    # ablation at the tiny scale
+    python -m repro.cli figure 4 --output fig4.txt
+
+Each command runs the corresponding function from :mod:`repro.experiments`
+and prints (and optionally saves) the reproduced table / figure text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .experiments import (
+    figure3_dln_vs_selnet,
+    figure4_control_points,
+    figure5_updates,
+    get_scale,
+    run_ablation_table,
+    run_accuracy_table,
+    run_control_point_sweep,
+    run_monotonicity_table,
+    run_partition_method_table,
+    run_partition_size_sweep,
+    run_timing_table,
+)
+
+#: table number -> (description, runner taking a scale)
+TABLE_RUNNERS: Dict[int, tuple] = {
+    1: ("Accuracy on fasttext-cos", lambda scale: run_accuracy_table("fasttext-cos", scale=scale)),
+    2: ("Accuracy on fasttext-l2", lambda scale: run_accuracy_table("fasttext-l2", scale=scale)),
+    3: ("Accuracy on face-cos", lambda scale: run_accuracy_table("face-cos", scale=scale)),
+    4: ("Accuracy on YouTube-cos", lambda scale: run_accuracy_table("youtube-cos", scale=scale)),
+    5: ("Empirical monotonicity", lambda scale: run_monotonicity_table(scale=scale)),
+    6: ("Ablation study", lambda scale: run_ablation_table(scale=scale)),
+    7: ("Estimation time", lambda scale: run_timing_table(scale=scale)),
+    8: ("Control-point sweep", lambda scale: run_control_point_sweep(scale=scale)),
+    9: ("Partition-size sweep", lambda scale: run_partition_size_sweep(scale=scale)),
+    10: ("Partitioning methods", lambda scale: run_partition_method_table(scale=scale)),
+    11: (
+        "Beta-distributed thresholds",
+        lambda scale: run_accuracy_table("fasttext-cos", scale=scale, threshold_distribution="beta"),
+    ),
+}
+
+FIGURE_RUNNERS: Dict[int, tuple] = {
+    3: ("DLN vs SelNet on exp(t)/10", lambda scale: figure3_dln_vs_selnet()),
+    4: ("Learned control points", lambda scale: figure4_control_points(scale=scale)),
+    5: ("Accuracy under updates", lambda scale: figure5_updates(scale=scale)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Reproduce the paper's tables and figures."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    table_parser = subparsers.add_parser("table", help="reproduce one table (1-11)")
+    table_parser.add_argument("number", type=int, choices=sorted(TABLE_RUNNERS))
+    table_parser.add_argument("--scale", default="small", help="tiny, small or medium")
+    table_parser.add_argument("--output", default=None, help="also write the table to this file")
+
+    figure_parser = subparsers.add_parser("figure", help="reproduce one figure (3-5)")
+    figure_parser.add_argument("number", type=int, choices=sorted(FIGURE_RUNNERS))
+    figure_parser.add_argument("--scale", default="small", help="tiny, small or medium")
+    figure_parser.add_argument("--output", default=None, help="also write the figure text to this file")
+    return parser
+
+
+def _run(runner: Callable, scale_name: str, output: Optional[str]) -> str:
+    scale = get_scale(scale_name)
+    result = runner(scale)
+    text = result.text
+    print(text)
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("Tables:")
+        for number, (description, _) in sorted(TABLE_RUNNERS.items()):
+            print(f"  table {number:>2}  {description}")
+        print("Figures:")
+        for number, (description, _) in sorted(FIGURE_RUNNERS.items()):
+            print(f"  figure {number}  {description}")
+        return 0
+
+    if args.command == "table":
+        _, runner = TABLE_RUNNERS[args.number]
+        _run(runner, args.scale, args.output)
+        return 0
+
+    if args.command == "figure":
+        _, runner = FIGURE_RUNNERS[args.number]
+        _run(runner, args.scale, args.output)
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

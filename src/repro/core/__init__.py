@@ -1,0 +1,41 @@
+"""SelNet core: the paper's selectivity estimator."""
+
+from .config import IncrementalConfig, SelNetConfig
+from .control_points import ControlPointHead, PGenerator, TauGenerator
+from .incremental import IncrementalSelNet, UpdateStepReport
+from .partitioned import PartitionedSelNet
+from .piecewise import (
+    PiecewiseLinearCurve,
+    evaluate_piecewise_linear,
+    fit_piecewise_linear_curve,
+    is_monotone_curve,
+    piecewise_linear,
+)
+from .selnet import SelNetModel
+from .trainer import (
+    SelNetEstimator,
+    SelNetTrainingHistory,
+    train_partitioned_selnet,
+    train_selnet_model,
+)
+
+__all__ = [
+    "SelNetConfig",
+    "IncrementalConfig",
+    "TauGenerator",
+    "PGenerator",
+    "ControlPointHead",
+    "PiecewiseLinearCurve",
+    "evaluate_piecewise_linear",
+    "fit_piecewise_linear_curve",
+    "is_monotone_curve",
+    "piecewise_linear",
+    "SelNetModel",
+    "PartitionedSelNet",
+    "SelNetEstimator",
+    "SelNetTrainingHistory",
+    "train_selnet_model",
+    "train_partitioned_selnet",
+    "IncrementalSelNet",
+    "UpdateStepReport",
+]

@@ -1,0 +1,142 @@
+"""Configuration dataclasses for the SelNet estimator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass
+class SelNetConfig:
+    """Hyper-parameters of the SelNet architecture and its training loop.
+
+    Defaults follow the paper (Appendix B.2) scaled down to laptop-size
+    synthetic data: the paper uses L = 50 control points, hidden sizes of
+    512/1024, 1500 epochs and batch size 512; we default to smaller networks
+    and fewer epochs so the full benchmark suite runs in minutes.
+
+    Parameters
+    ----------
+    num_control_points:
+        ``L`` — the number of interior control points of the piece-wise
+        linear estimator (the function has ``L + 2`` points in total).
+    latent_dim:
+        Dimensionality of the autoencoder embedding ``z_x``.
+    tau_hidden_sizes:
+        Hidden sizes of the FFN generating threshold increments (2 hidden
+        layers in the paper).
+    p_hidden_sizes:
+        Hidden sizes of the FFN inside model M generating the control-value
+        embeddings (4 hidden layers in the paper).
+    embedding_dim:
+        ``|h_i|`` — size of each per-control-point embedding in model M
+        (100 in the paper).
+    ae_hidden_sizes:
+        Hidden sizes of the autoencoder's encoder (mirrored by the decoder).
+    query_dependent_tau:
+        When False the τ-generator receives a constant input, producing the
+        SelNet-ad-ct ablation of Section 7.4.
+    num_partitions:
+        ``K`` — number of database partitions; 1 disables partitioning
+        (SelNet-ct).
+    partition_method:
+        ``"ct"`` (cover tree, default), ``"rp"`` (random) or ``"km"``
+        (k-means).
+    partition_ratio:
+        Cover-tree expansion stop ratio ``r``.
+    epochs, batch_size, learning_rate:
+        Training-loop parameters.
+    pretrain_epochs:
+        ``T`` — number of epochs each local model is pre-trained before joint
+        training (paper uses 300; scaled down by default).
+    ae_pretrain_epochs:
+        Epochs of autoencoder pre-training on the full database.
+    lambda_ae:
+        Weight ``λ`` of the autoencoder reconstruction loss in the joint
+        objective (Equation 4).
+    beta_local:
+        Weight ``β`` of the per-partition losses during joint training
+        (Section 5.3; paper uses 0.1).
+    huber_delta:
+        δ of the Huber loss (1.345 in the paper).
+    early_stopping_patience:
+        Stop when the validation loss has not improved for this many epochs.
+    seed:
+        Seed for all weight initialisation and shuffling.
+    """
+
+    num_control_points: int = 16
+    latent_dim: int = 8
+    tau_hidden_sizes: Tuple[int, ...] = (64, 64)
+    p_hidden_sizes: Tuple[int, ...] = (128, 128, 64)
+    embedding_dim: int = 16
+    ae_hidden_sizes: Tuple[int, ...] = (64,)
+    query_dependent_tau: bool = True
+    num_partitions: int = 1
+    partition_method: str = "ct"
+    partition_ratio: float = 0.05
+    epochs: int = 60
+    batch_size: int = 128
+    learning_rate: float = 5e-3
+    pretrain_epochs: int = 10
+    ae_pretrain_epochs: int = 10
+    lambda_ae: float = 0.1
+    beta_local: float = 0.1
+    huber_delta: float = 1.345
+    early_stopping_patience: Optional[int] = 15
+    max_grad_norm: Optional[float] = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_control_points < 1:
+            raise ValueError("num_control_points must be at least 1")
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be at least 1")
+        if self.partition_method.lower() not in ("ct", "cover_tree", "rp", "random", "km", "kmeans"):
+            raise ValueError(f"unknown partition_method {self.partition_method!r}")
+        if not 0.0 < self.partition_ratio <= 1.0:
+            raise ValueError("partition_ratio must lie in (0, 1]")
+
+    def scaled_for_paper(self) -> "SelNetConfig":
+        """Return a copy with the paper's full-size hyper-parameters.
+
+        Provided for completeness; training at this size in pure numpy is
+        slow and not needed to reproduce the tables' shapes.
+        """
+        return SelNetConfig(
+            num_control_points=50,
+            latent_dim=32,
+            tau_hidden_sizes=(512, 256),
+            p_hidden_sizes=(512, 512, 256, 256),
+            embedding_dim=100,
+            ae_hidden_sizes=(512, 256),
+            query_dependent_tau=self.query_dependent_tau,
+            num_partitions=self.num_partitions,
+            partition_method=self.partition_method,
+            partition_ratio=self.partition_ratio,
+            epochs=1500,
+            batch_size=512,
+            learning_rate=2e-5,
+            pretrain_epochs=300,
+            ae_pretrain_epochs=50,
+            lambda_ae=self.lambda_ae,
+            beta_local=self.beta_local,
+            huber_delta=self.huber_delta,
+            early_stopping_patience=None,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class IncrementalConfig:
+    """Hyper-parameters of the incremental-learning path (Section 5.4)."""
+
+    #: maximum tolerated increase of validation MAE before retraining kicks in
+    mae_drift_threshold: float = 5.0
+    #: continue fine-tuning until validation MAE has not improved for this many epochs
+    patience: int = 3
+    #: upper bound on fine-tuning epochs per update
+    max_epochs: int = 30
+    #: learning rate used during fine-tuning (usually smaller than initial training)
+    learning_rate: float = 1e-3
+    batch_size: int = 128

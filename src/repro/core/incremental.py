@@ -1,0 +1,168 @@
+"""Incremental learning under database updates (Section 5.4 of the paper).
+
+When the database receives insertions or deletions:
+
+1. The labels of the validation data are refreshed against the updated
+   database and the model's validation MAE is re-measured.  If the MAE drift
+   stays within ``δ_U`` the model is kept as is.
+2. Otherwise the training labels are refreshed too and the *current* model is
+   fine-tuned (never retrained from scratch) on all training data until the
+   validation MAE stops improving for 3 consecutive epochs — incremental
+   learning over the full training set prevents catastrophic forgetting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..data.ground_truth import SelectivityOracle
+from ..data.updates import UpdateOperation, apply_update
+from ..data.workload import Workload, relabel_workload
+from ..distances import DistanceFunction
+from ..nn import Adam, DataLoader, log_huber_loss
+from .config import IncrementalConfig, SelNetConfig
+from .selnet import SelNetModel
+from .trainer import SelNetEstimator
+
+
+@dataclass
+class UpdateStepReport:
+    """What happened when one update operation was applied."""
+
+    operation_kind: str
+    database_size: int
+    validation_mae_before: float
+    validation_mae_after: float
+    retrained: bool
+    fine_tune_epochs: int = 0
+
+
+@dataclass
+class IncrementalSelNet:
+    """Wraps a fitted SelNet-ct estimator with update handling.
+
+    Parameters
+    ----------
+    estimator:
+        A fitted :class:`~repro.core.trainer.SelNetEstimator` whose model is a
+        single (non-partitioned) :class:`SelNetModel`.  The update procedure
+        in the paper is described for this configuration; partitioned models
+        would additionally require re-partitioning.
+    data:
+        Current database vectors.
+    distance:
+        Distance function of the workload.
+    train, validation:
+        The training and validation workloads (labels are refreshed in place
+        as the database changes).
+    config:
+        Incremental-learning hyper-parameters.
+    """
+
+    estimator: SelNetEstimator
+    data: np.ndarray
+    distance: DistanceFunction
+    train: Workload
+    validation: Workload
+    config: IncrementalConfig = field(default_factory=IncrementalConfig)
+    reports: List[UpdateStepReport] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.estimator.model, SelNetModel):
+            raise TypeError("IncrementalSelNet requires a fitted non-partitioned SelNet estimator")
+        self.data = np.asarray(self.data, dtype=np.float64)
+        self._baseline_mae = self._validation_mae()
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _validation_mae(self) -> float:
+        prediction = self.estimator.estimate(self.validation.queries, self.validation.thresholds)
+        return float(np.mean(np.abs(prediction - self.validation.selectivities)))
+
+    def _fine_tune(self) -> int:
+        """Fine-tune the current model; return the number of epochs run."""
+        model: SelNetModel = self.estimator.model  # type: ignore[assignment]
+        selnet_config: SelNetConfig = self.estimator.config
+        optimizer = Adam(model.parameters(), learning_rate=self.config.learning_rate)
+        loader = DataLoader(
+            self.train.queries,
+            self.train.thresholds,
+            self.train.selectivities,
+            batch_size=self.config.batch_size,
+            shuffle=True,
+        )
+        best_mae = self._validation_mae()
+        best_state = model.state_dict()
+        stall = 0
+        epochs_run = 0
+        for _ in range(self.config.max_epochs):
+            model.train()
+            for queries, thresholds, labels in loader:
+                optimizer.zero_grad()
+                query_tensor = Tensor(queries)
+                prediction = model.forward(query_tensor, thresholds)
+                loss = log_huber_loss(prediction, labels, delta=selnet_config.huber_delta)
+                loss = loss + selnet_config.lambda_ae * model.reconstruction_loss(query_tensor)
+                loss.backward()
+                optimizer.step()
+            model.eval()
+            epochs_run += 1
+            mae = self._validation_mae()
+            if mae < best_mae - 1e-9:
+                best_mae = mae
+                best_state = model.state_dict()
+                stall = 0
+            else:
+                stall += 1
+            if stall >= self.config.patience:
+                break
+        model.load_state_dict(best_state)
+        model.eval()
+        return epochs_run
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def apply_operation(self, operation: UpdateOperation) -> UpdateStepReport:
+        """Apply one insert/delete operation and update the model if needed."""
+        self.data = apply_update(self.data, operation)
+        oracle = SelectivityOracle(self.data, self.distance)
+
+        # Step 1: refresh validation labels and re-check accuracy.
+        self.validation = relabel_workload(self.validation, oracle)
+        mae_before = self._validation_mae()
+        drift = abs(mae_before - self._baseline_mae)
+
+        retrained = False
+        fine_tune_epochs = 0
+        if drift > self.config.mae_drift_threshold:
+            # Step 2: refresh training labels and fine-tune the current model.
+            self.train = relabel_workload(self.train, oracle)
+            fine_tune_epochs = self._fine_tune()
+            retrained = True
+            self._baseline_mae = self._validation_mae()
+
+        mae_after = self._validation_mae()
+        report = UpdateStepReport(
+            operation_kind=operation.kind,
+            database_size=len(self.data),
+            validation_mae_before=mae_before,
+            validation_mae_after=mae_after,
+            retrained=retrained,
+            fine_tune_epochs=fine_tune_epochs,
+        )
+        self.reports.append(report)
+        return report
+
+    def apply_stream(self, operations: List[UpdateOperation]) -> List[UpdateStepReport]:
+        """Apply a whole update stream, returning one report per operation."""
+        return [self.apply_operation(operation) for operation in operations]
+
+    def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        """Delegate estimation to the wrapped (possibly fine-tuned) model."""
+        return self.estimator.estimate(queries, thresholds)

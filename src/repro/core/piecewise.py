@@ -1,0 +1,156 @@
+"""Continuous piece-wise linear functions (Equation 1 of the paper).
+
+Two views of the same object live here:
+
+* :func:`evaluate_piecewise_linear` / :class:`PiecewiseLinearCurve` — a plain
+  numpy implementation used for analysis, plotting (Figures 3 and 4) and as
+  an independent reference the differentiable op is tested against.
+* the differentiable evaluation used inside SelNet lives in
+  :func:`repro.autodiff.piecewise_linear`; this module re-exports it so the
+  core package is self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..autodiff import piecewise_linear  # re-exported for the model code
+
+__all__ = [
+    "piecewise_linear",
+    "evaluate_piecewise_linear",
+    "PiecewiseLinearCurve",
+    "is_monotone_curve",
+]
+
+
+def evaluate_piecewise_linear(
+    tau: np.ndarray, p: np.ndarray, thresholds: np.ndarray
+) -> np.ndarray:
+    """Reference (non-differentiable) evaluation of Equation 1.
+
+    Parameters
+    ----------
+    tau:
+        Control-point abscissae, shape ``(L + 2,)``, non-decreasing.
+    p:
+        Control-point ordinates, shape ``(L + 2,)``.
+    thresholds:
+        Points at which to evaluate, any shape.
+
+    Thresholds outside ``[tau[0], tau[-1]]`` are clamped to the end values,
+    matching the differentiable op.
+    """
+    tau = np.asarray(tau, dtype=np.float64)
+    p = np.asarray(p, dtype=np.float64)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if tau.shape != p.shape or tau.ndim != 1:
+        raise ValueError("tau and p must be 1-D arrays of the same length")
+    return np.interp(thresholds, tau, p)
+
+
+def is_monotone_curve(tau: np.ndarray, p: np.ndarray) -> bool:
+    """Check Lemma 1's premise: p non-decreasing (and tau non-decreasing)."""
+    tau = np.asarray(tau, dtype=np.float64)
+    p = np.asarray(p, dtype=np.float64)
+    return bool(np.all(np.diff(tau) >= -1e-12) and np.all(np.diff(p) >= -1e-12))
+
+
+@dataclass
+class PiecewiseLinearCurve:
+    """A single continuous piece-wise linear curve ``t -> y``.
+
+    Used by the Figure 3 / Figure 4 reproductions to inspect the control
+    points a model has learned for a specific query.
+    """
+
+    tau: np.ndarray
+    p: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.tau = np.asarray(self.tau, dtype=np.float64)
+        self.p = np.asarray(self.p, dtype=np.float64)
+        if self.tau.shape != self.p.shape or self.tau.ndim != 1:
+            raise ValueError("tau and p must be 1-D arrays of the same length")
+
+    @property
+    def num_control_points(self) -> int:
+        return int(len(self.tau))
+
+    @property
+    def is_monotone(self) -> bool:
+        return is_monotone_curve(self.tau, self.p)
+
+    def __call__(self, thresholds) -> np.ndarray:
+        return evaluate_piecewise_linear(self.tau, self.p, np.asarray(thresholds, dtype=np.float64))
+
+    def control_points(self) -> list:
+        """The ``(tau_i, p_i)`` pairs as a list of tuples."""
+        return list(zip(self.tau.tolist(), self.p.tolist()))
+
+    def segment_slopes(self) -> np.ndarray:
+        """Slope of each linear segment (useful to locate 'interesting areas')."""
+        widths = np.maximum(np.diff(self.tau), 1e-12)
+        return np.diff(self.p) / widths
+
+
+def fit_piecewise_linear_curve(
+    x: np.ndarray,
+    y: np.ndarray,
+    num_control_points: int,
+    adaptive: bool = True,
+) -> PiecewiseLinearCurve:
+    """Directly fit a monotone piece-wise linear curve to 1-D data.
+
+    This is the classical (non-neural) curve-fitting view discussed in
+    Section 6.1: with enough control points a piece-wise linear function can
+    fit any one-dimensional monotone curve.  Used by the Figure 3 experiment
+    as an oracle upper bound and by tests.
+
+    Parameters
+    ----------
+    x, y:
+        Training points of the 1-D curve (y assumed non-decreasing in x).
+    num_control_points:
+        Total number of control points (including both ends).
+    adaptive:
+        When True, knots are placed at quantiles of the *output* values so
+        that regions where y changes quickly get more knots (mimicking
+        SelNet's adaptive placement); when False they are equally spaced in x
+        (mimicking the DLN calibrator).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    order = np.argsort(x)
+    x, y = x[order], y[order]
+    if num_control_points < 2:
+        raise ValueError("need at least 2 control points")
+    if adaptive:
+        # Greedy knot insertion: repeatedly add a knot at the training point
+        # with the largest absolute error of the current fit.  This places
+        # knots densely where the curve bends fastest — the behaviour SelNet
+        # learns end-to-end.
+        knots = [float(x[0]), float(x[-1])]
+        while len(knots) < num_control_points:
+            tau = np.asarray(sorted(knots))
+            p = np.interp(tau, x, y)
+            errors = np.abs(np.interp(x, tau, p) - y)
+            # Do not reuse existing knots.
+            errors[np.isin(x, tau)] = -1.0
+            candidate = float(x[int(np.argmax(errors))])
+            if candidate in knots:
+                break
+            knots.append(candidate)
+        tau = np.asarray(sorted(knots))
+        if len(tau) < num_control_points:
+            # Degenerate data (few distinct x); pad with equally spaced knots.
+            extra = np.linspace(x[0], x[-1], num_control_points - len(tau) + 2)[1:-1]
+            tau = np.unique(np.concatenate([tau, extra]))[:num_control_points]
+    else:
+        tau = np.linspace(x[0], x[-1], num_control_points)
+    p = np.interp(tau, x, y)
+    p = np.maximum.accumulate(p)  # enforce monotone ordinates
+    return PiecewiseLinearCurve(tau=tau, p=p)

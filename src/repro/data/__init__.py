@@ -1,0 +1,42 @@
+"""Data substrate: synthetic datasets, ground truth, workloads, updates."""
+
+from .ground_truth import SelectivityOracle
+from .synthetic import (
+    Dataset,
+    dataset_names,
+    make_dataset,
+    make_face_like,
+    make_fasttext_like,
+    make_youtube_like,
+)
+from .updates import UpdateOperation, apply_stream, apply_update, generate_update_stream
+from .workload import (
+    Workload,
+    WorkloadSplit,
+    build_workload_split,
+    generate_workload,
+    geometric_selectivity_targets,
+    relabel_workload,
+    split_workload,
+)
+
+__all__ = [
+    "Dataset",
+    "make_dataset",
+    "make_fasttext_like",
+    "make_face_like",
+    "make_youtube_like",
+    "dataset_names",
+    "SelectivityOracle",
+    "Workload",
+    "WorkloadSplit",
+    "generate_workload",
+    "geometric_selectivity_targets",
+    "split_workload",
+    "build_workload_split",
+    "relabel_workload",
+    "UpdateOperation",
+    "generate_update_stream",
+    "apply_update",
+    "apply_stream",
+]

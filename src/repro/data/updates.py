@@ -1,0 +1,90 @@
+"""Update-stream generation for the data-update experiments (Section 7.6).
+
+The paper evaluates robustness to database updates with a stream of 100
+operations, each inserting or deleting 5 records.  This module generates such
+streams and applies them to a database, returning the updated vector set so a
+fresh :class:`~repro.data.ground_truth.SelectivityOracle` can relabel the
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class UpdateOperation:
+    """One insert-or-delete batch applied to the database."""
+
+    kind: str  # "insert" or "delete"
+    vectors: Optional[np.ndarray] = None  # rows to insert (for "insert")
+    indices: Optional[np.ndarray] = None  # row indices to delete (for "delete")
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "delete"):
+            raise ValueError("kind must be 'insert' or 'delete'")
+        if self.kind == "insert" and self.vectors is None:
+            raise ValueError("insert operations need vectors")
+        if self.kind == "delete" and self.indices is None:
+            raise ValueError("delete operations need indices")
+
+
+def generate_update_stream(
+    data: np.ndarray,
+    num_operations: int = 100,
+    records_per_operation: int = 5,
+    insert_probability: float = 0.5,
+    noise_scale: float = 0.05,
+    seed: int = 0,
+) -> List[UpdateOperation]:
+    """Generate a stream of insert / delete operations.
+
+    Inserted vectors are perturbed copies of existing rows (new objects drawn
+    from the same distribution); deletions pick uniformly random current rows.
+    The stream is resolved lazily: delete indices refer to the database state
+    at the time the operation is applied, so :func:`apply_update` must be used
+    to interpret them.
+    """
+    rng = np.random.default_rng(seed)
+    data = np.asarray(data, dtype=np.float64)
+    operations: List[UpdateOperation] = []
+    current_size = len(data)
+    for _ in range(num_operations):
+        is_insert = rng.random() < insert_probability or current_size <= records_per_operation
+        if is_insert:
+            base_index = rng.integers(0, len(data), size=records_per_operation)
+            base = data[base_index]
+            noise = rng.normal(0.0, noise_scale, size=base.shape)
+            operations.append(UpdateOperation(kind="insert", vectors=base + noise))
+            current_size += records_per_operation
+        else:
+            indices = rng.choice(current_size, size=records_per_operation, replace=False)
+            operations.append(UpdateOperation(kind="delete", indices=np.sort(indices)))
+            current_size -= records_per_operation
+    return operations
+
+
+def apply_update(data: np.ndarray, operation: UpdateOperation) -> np.ndarray:
+    """Return a new database array with ``operation`` applied."""
+    data = np.asarray(data, dtype=np.float64)
+    if operation.kind == "insert":
+        return np.concatenate([data, operation.vectors], axis=0)
+    keep = np.ones(len(data), dtype=bool)
+    valid = operation.indices[operation.indices < len(data)]
+    keep[valid] = False
+    return data[keep]
+
+
+def apply_stream(
+    data: np.ndarray, operations: List[UpdateOperation]
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Apply a full stream, returning the final database and all intermediate states."""
+    states = []
+    current = np.asarray(data, dtype=np.float64)
+    for operation in operations:
+        current = apply_update(current, operation)
+        states.append(current)
+    return current, states

@@ -1,0 +1,284 @@
+"""Query workload generation (paper Appendix B.1 and Section 7.9).
+
+A workload is a set of ``(query vector, threshold, exact selectivity)``
+triples.  The default generator follows the paper / Mattig et al.: queries
+are sampled from the database, and for each query a geometric sequence of
+``w`` selectivity values in ``[1, |D| / 100]`` is converted to thresholds via
+the query's sorted distance profile.  The alternative generator of
+Section 7.9 samples thresholds from a Beta distribution over ``[0, t_max]``.
+
+The resulting triples are split 80/10/10 into train / validation / test **by
+query**, so no test query has been seen during training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..distances import DistanceFunction, get_distance
+from .ground_truth import SelectivityOracle
+from .synthetic import Dataset
+
+
+@dataclass
+class Workload:
+    """Aligned arrays of queries, thresholds and exact selectivities.
+
+    ``query_ids`` maps every row back to the query vector it came from, which
+    the splitter uses to keep all thresholds of one query in the same fold
+    and the monotonicity test uses to group rows by query.
+    """
+
+    queries: np.ndarray
+    thresholds: np.ndarray
+    selectivities: np.ndarray
+    query_ids: np.ndarray
+    t_max: float
+    distance_name: str
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.thresholds)
+
+    @property
+    def features(self) -> np.ndarray:
+        """Concatenation ``[x, t]`` used by the ordinary-regression baselines."""
+        return np.concatenate([self.queries, self.thresholds[:, None]], axis=1)
+
+    def subset(self, index: np.ndarray) -> "Workload":
+        """Return a new workload restricted to ``index`` rows."""
+        return Workload(
+            queries=self.queries[index],
+            thresholds=self.thresholds[index],
+            selectivities=self.selectivities[index],
+            query_ids=self.query_ids[index],
+            t_max=self.t_max,
+            distance_name=self.distance_name,
+            metadata=dict(self.metadata),
+        )
+
+    def unique_query_count(self) -> int:
+        return int(len(np.unique(self.query_ids)))
+
+
+@dataclass
+class WorkloadSplit:
+    """Train / validation / test workloads plus the generating context."""
+
+    train: Workload
+    validation: Workload
+    test: Workload
+    oracle: SelectivityOracle
+    dataset: Dataset
+    distance: DistanceFunction
+
+    @property
+    def t_max(self) -> float:
+        return self.train.t_max
+
+
+def geometric_selectivity_targets(
+    num_objects: int, num_thresholds: int, max_selectivity_fraction: float = 0.01
+) -> np.ndarray:
+    """Geometric sequence of ``w`` selectivity values in ``[1, n * fraction]``.
+
+    The paper uses ``fraction = 1/100`` on million-row datasets, which yields
+    selectivities spanning four orders of magnitude.  On the laptop-scale
+    synthetic datasets of this reproduction the same fraction would cap
+    selectivity at a few dozen, flattening the very dynamic range the
+    estimators are supposed to cope with — so experiment scales may raise the
+    fraction to preserve the multi-order-of-magnitude span (documented in
+    DESIGN.md as a scale substitution).
+    """
+    upper = max(num_objects * max_selectivity_fraction, 2.0)
+    return np.geomspace(1.0, upper, num=num_thresholds)
+
+
+def generate_workload(
+    dataset: Dataset,
+    distance,
+    num_queries: int = 200,
+    thresholds_per_query: int = 40,
+    threshold_distribution: str = "geometric",
+    beta_params: Tuple[float, float] = (3.0, 2.5),
+    max_selectivity_fraction: float = 0.01,
+    seed: int = 0,
+) -> Tuple[Workload, SelectivityOracle]:
+    """Generate a labelled workload for one dataset / distance setting.
+
+    Parameters
+    ----------
+    dataset:
+        The database (a :class:`~repro.data.synthetic.Dataset`).
+    distance:
+        Distance function or its name.
+    num_queries:
+        Number of distinct query vectors, sampled from the database
+        (the paper samples queries from D).
+    thresholds_per_query:
+        ``w`` in the paper (default 40).
+    threshold_distribution:
+        ``"geometric"`` (default, Appendix B.1) derives thresholds from a
+        geometric selectivity sequence; ``"beta"`` samples thresholds from
+        ``Beta(alpha, beta) * t_max`` (Section 7.9).
+    beta_params:
+        ``(alpha, beta)`` of the Beta distribution, default ``(3, 2.5)``.
+    max_selectivity_fraction:
+        Upper end of the geometric selectivity targets as a fraction of |D|
+        (see :func:`geometric_selectivity_targets`).
+    seed:
+        Random seed.
+    """
+    distance_fn: DistanceFunction = (
+        distance if isinstance(distance, DistanceFunction) else get_distance(distance)
+    )
+    oracle = SelectivityOracle(dataset.vectors, distance_fn)
+    rng = np.random.default_rng(seed)
+
+    num_queries = min(num_queries, dataset.num_vectors)
+    query_index = rng.choice(dataset.num_vectors, size=num_queries, replace=False)
+    query_vectors = dataset.vectors[query_index]
+
+    # t_max: cover the largest threshold the geometric workload can produce.
+    targets = geometric_selectivity_targets(
+        dataset.num_vectors, thresholds_per_query, max_selectivity_fraction
+    )
+
+    all_queries = []
+    all_thresholds = []
+    all_selectivities = []
+    all_ids = []
+
+    if threshold_distribution not in ("geometric", "beta"):
+        raise ValueError("threshold_distribution must be 'geometric' or 'beta'")
+
+    # First pass for beta mode: establish t_max from the geometric targets so
+    # the Beta support matches the realistic threshold range.
+    per_query_max = np.empty(num_queries, dtype=np.float64)
+    sorted_profiles = []
+    for i, query in enumerate(query_vectors):
+        profile = oracle.sorted_distances_to(query)
+        sorted_profiles.append(profile)
+        rank = int(np.clip(round(targets[-1]), 1, len(profile)))
+        per_query_max[i] = profile[rank - 1]
+    t_max = float(per_query_max.max() * 1.05)
+
+    for i, query in enumerate(query_vectors):
+        profile = sorted_profiles[i]
+        if threshold_distribution == "geometric":
+            ranks = np.clip(np.round(targets).astype(int), 1, len(profile))
+            thresholds = profile[ranks - 1]
+        else:
+            alpha, beta = beta_params
+            thresholds = rng.beta(alpha, beta, size=thresholds_per_query) * t_max
+        selectivities = np.searchsorted(profile, thresholds, side="right")
+        all_queries.append(np.repeat(query[None, :], len(thresholds), axis=0))
+        all_thresholds.append(thresholds)
+        all_selectivities.append(selectivities)
+        all_ids.append(np.full(len(thresholds), i, dtype=np.int64))
+
+    workload = Workload(
+        queries=np.concatenate(all_queries, axis=0),
+        thresholds=np.concatenate(all_thresholds, axis=0).astype(np.float64),
+        selectivities=np.concatenate(all_selectivities, axis=0).astype(np.float64),
+        query_ids=np.concatenate(all_ids, axis=0),
+        t_max=t_max,
+        distance_name=distance_fn.name,
+        metadata={
+            "dataset": dataset.name,
+            "num_queries": num_queries,
+            "thresholds_per_query": thresholds_per_query,
+            "threshold_distribution": threshold_distribution,
+            "max_selectivity_fraction": max_selectivity_fraction,
+            "seed": seed,
+        },
+    )
+    return workload, oracle
+
+
+def split_workload(
+    workload: Workload,
+    train_fraction: float = 0.8,
+    validation_fraction: float = 0.1,
+    seed: int = 0,
+) -> Tuple[Workload, Workload, Workload]:
+    """Split a workload 80/10/10 **by query** (paper Appendix B.1)."""
+    if not 0.0 < train_fraction < 1.0 or not 0.0 < validation_fraction < 1.0:
+        raise ValueError("fractions must lie in (0, 1)")
+    if train_fraction + validation_fraction >= 1.0:
+        raise ValueError("train + validation fractions must leave room for test data")
+    rng = np.random.default_rng(seed)
+    unique_ids = np.unique(workload.query_ids)
+    order = rng.permutation(unique_ids)
+    num_train = int(round(len(order) * train_fraction))
+    num_valid = int(round(len(order) * validation_fraction))
+    num_valid = max(num_valid, 1)
+    num_train = max(min(num_train, len(order) - num_valid - 1), 1)
+    train_ids = set(order[:num_train].tolist())
+    valid_ids = set(order[num_train : num_train + num_valid].tolist())
+
+    membership = np.empty(len(workload), dtype=np.int8)
+    for row, query_id in enumerate(workload.query_ids):
+        if query_id in train_ids:
+            membership[row] = 0
+        elif query_id in valid_ids:
+            membership[row] = 1
+        else:
+            membership[row] = 2
+    train = workload.subset(np.where(membership == 0)[0])
+    validation = workload.subset(np.where(membership == 1)[0])
+    test = workload.subset(np.where(membership == 2)[0])
+    return train, validation, test
+
+
+def build_workload_split(
+    dataset: Dataset,
+    distance,
+    num_queries: int = 200,
+    thresholds_per_query: int = 40,
+    threshold_distribution: str = "geometric",
+    max_selectivity_fraction: float = 0.01,
+    seed: int = 0,
+) -> WorkloadSplit:
+    """Generate a workload and split it into train / validation / test."""
+    distance_fn = distance if isinstance(distance, DistanceFunction) else get_distance(distance)
+    workload, oracle = generate_workload(
+        dataset,
+        distance_fn,
+        num_queries=num_queries,
+        thresholds_per_query=thresholds_per_query,
+        threshold_distribution=threshold_distribution,
+        max_selectivity_fraction=max_selectivity_fraction,
+        seed=seed,
+    )
+    train, validation, test = split_workload(workload, seed=seed)
+    return WorkloadSplit(
+        train=train,
+        validation=validation,
+        test=test,
+        oracle=oracle,
+        dataset=dataset,
+        distance=distance_fn,
+    )
+
+
+def relabel_workload(workload: Workload, oracle: SelectivityOracle) -> Workload:
+    """Recompute exact selectivities against a (possibly updated) oracle.
+
+    Used by the incremental-learning path (Section 5.4): after database
+    insertions or deletions, the labels of the training and validation data
+    are refreshed before fine-tuning.
+    """
+    new_labels = oracle.batch_selectivity(workload.queries, workload.thresholds).astype(np.float64)
+    return Workload(
+        queries=workload.queries,
+        thresholds=workload.thresholds,
+        selectivities=new_labels,
+        query_ids=workload.query_ids,
+        t_max=workload.t_max,
+        distance_name=workload.distance_name,
+        metadata=dict(workload.metadata),
+    )

@@ -1,0 +1,91 @@
+"""Named distance functions with metadata used throughout the library.
+
+A :class:`DistanceFunction` bundles the batch distance kernel with the
+properties the rest of the system needs to know about it:
+
+* whether it is a proper metric (so the cover-tree partitioner and its
+  triangle-inequality pruning apply — Section 5.3), and
+* how to convert thresholds to the equivalent Euclidean ones for unit
+  vectors, which KDE and the cover tree rely on for cosine distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from .metrics import (
+    cosine_distance,
+    cosine_threshold_to_euclidean,
+    euclidean_distance,
+    normalize_rows,
+    pairwise_cosine_distance,
+    pairwise_euclidean,
+)
+
+
+@dataclass(frozen=True)
+class DistanceFunction:
+    """A named distance with its batch kernels and metric properties."""
+
+    name: str
+    #: distance from one query vector to every database row
+    query_to_data: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    #: full pairwise distance matrix between two sets of rows
+    pairwise: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    #: True when the triangle inequality holds (enables cover-tree pruning)
+    is_metric: bool
+    #: convert a threshold of this distance to the Euclidean threshold that is
+    #: equivalent for unit vectors (identity for Euclidean itself)
+    threshold_to_euclidean: Callable[[float], float]
+
+    def __call__(self, x: np.ndarray, data: np.ndarray) -> np.ndarray:
+        return self.query_to_data(x, data)
+
+
+EUCLIDEAN = DistanceFunction(
+    name="euclidean",
+    query_to_data=euclidean_distance,
+    pairwise=pairwise_euclidean,
+    is_metric=True,
+    threshold_to_euclidean=lambda t: float(t),
+)
+
+# Cosine distance is not a metric in general, but on unit vectors it is
+# monotonically related to Euclidean distance, so metric-space techniques
+# still apply after normalisation.  The paper treats it the same way.
+COSINE = DistanceFunction(
+    name="cosine",
+    query_to_data=cosine_distance,
+    pairwise=pairwise_cosine_distance,
+    is_metric=True,
+    threshold_to_euclidean=cosine_threshold_to_euclidean,
+)
+
+_REGISTRY: Dict[str, DistanceFunction] = {
+    "euclidean": EUCLIDEAN,
+    "l2": EUCLIDEAN,
+    "cosine": COSINE,
+    "cos": COSINE,
+}
+
+
+def get_distance(name: str) -> DistanceFunction:
+    """Look up a distance function by name (``euclidean``/``l2``/``cosine``/``cos``)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown distance {name!r}; choose from {sorted(set(_REGISTRY))}")
+    return _REGISTRY[key]
+
+
+def prepare_data_for_distance(data: np.ndarray, distance: DistanceFunction) -> np.ndarray:
+    """Return ``data`` normalised when the distance expects unit vectors.
+
+    Cosine-distance workloads in the paper use normalised embeddings; this
+    helper gives callers one place to apply that convention.
+    """
+    if distance.name == "cosine":
+        return normalize_rows(data)
+    return np.asarray(data, dtype=np.float64)

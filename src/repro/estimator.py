@@ -1,0 +1,69 @@
+"""The common estimator interface shared by SelNet and every baseline.
+
+Every selectivity estimator in this library — the paper's SelNet variants and
+the nine comparison methods — implements :class:`SelectivityEstimator`, so the
+evaluation harness, the benchmarks and the examples can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from .data.workload import WorkloadSplit
+
+
+class SelectivityEstimator(abc.ABC):
+    """Abstract base class for selectivity estimators.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name used in reports (e.g. ``"SelNet"``, ``"KDE"``).
+    guarantees_consistency:
+        True when the estimator is monotonically non-decreasing in the
+        threshold by construction (the models marked ``*`` in the paper's
+        tables).
+    """
+
+    name: str = "estimator"
+    guarantees_consistency: bool = False
+
+    @abc.abstractmethod
+    def fit(self, split: WorkloadSplit) -> "SelectivityEstimator":
+        """Train / build the estimator from a workload split.
+
+        Estimators are free to use ``split.train`` and ``split.validation``
+        (and the database itself via ``split.dataset`` / ``split.oracle``),
+        but must never look at ``split.test``.
+        """
+
+    @abc.abstractmethod
+    def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        """Estimate selectivities for aligned query / threshold arrays.
+
+        Returns a float array of shape ``(len(queries),)``; values are
+        clipped to be non-negative by callers that need counts.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Convenience helpers
+    # ------------------------------------------------------------------ #
+    def estimate_one(self, query: np.ndarray, threshold: float) -> float:
+        """Estimate the selectivity of a single query / threshold pair."""
+        query = np.asarray(query, dtype=np.float64)
+        result = self.estimate(query[None, :], np.asarray([threshold], dtype=np.float64))
+        return float(result[0])
+
+    def selectivity_curve(self, query: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        """Estimated selectivity of one query across many thresholds."""
+        query = np.asarray(query, dtype=np.float64)
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        queries = np.repeat(query[None, :], len(thresholds), axis=0)
+        return self.estimate(queries, thresholds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        consistent = "consistent" if self.guarantees_consistency else "unconstrained"
+        return f"{type(self).__name__}(name={self.name!r}, {consistent})"

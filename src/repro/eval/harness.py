@@ -1,0 +1,196 @@
+"""Experiment harness: fit and evaluate estimators on workload splits.
+
+This module ties the data substrate, the estimator registry and the metrics
+together; the table / figure reproductions in :mod:`repro.experiments` and the
+benchmark suite are thin wrappers around it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..data.workload import Workload, WorkloadSplit, build_workload_split
+from ..estimator import SelectivityEstimator
+from ..experiments.scale import ExperimentScale, make_scaled_dataset, setting_distance
+from .metrics import ErrorMetrics, compute_error_metrics, empirical_monotonicity
+from .registry import EstimatorFactory, default_estimators
+
+
+@dataclass
+class EvaluationResult:
+    """Everything measured for one estimator on one workload split."""
+
+    model_name: str
+    guarantees_consistency: bool
+    validation_metrics: ErrorMetrics
+    test_metrics: ErrorMetrics
+    fit_seconds: float
+    estimation_milliseconds: float
+    monotonicity_percent: Optional[float] = None
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary for table formatting / CSV export."""
+        row = {
+            "model": self.model_name,
+            "consistent": self.guarantees_consistency,
+            "mse_valid": self.validation_metrics.mse,
+            "mse_test": self.test_metrics.mse,
+            "mae_valid": self.validation_metrics.mae,
+            "mae_test": self.test_metrics.mae,
+            "mape_valid": self.validation_metrics.mape,
+            "mape_test": self.test_metrics.mape,
+            "fit_seconds": self.fit_seconds,
+            "estimation_ms": self.estimation_milliseconds,
+        }
+        if self.monotonicity_percent is not None:
+            row["monotonicity_percent"] = self.monotonicity_percent
+        return row
+
+
+@dataclass
+class SettingEvaluation:
+    """All model results for one dataset / distance setting."""
+
+    setting: str
+    results: List[EvaluationResult] = field(default_factory=list)
+
+    def by_model(self) -> Dict[str, EvaluationResult]:
+        return {result.model_name: result for result in self.results}
+
+    def best_model(self, metric: str = "mse_test") -> str:
+        rows = [result.as_row() for result in self.results]
+        best = min(rows, key=lambda row: row[metric])
+        return str(best["model"])
+
+
+def _timed_estimate(
+    estimator: SelectivityEstimator, workload: Workload
+) -> tuple:
+    """Run estimation over a workload and return (estimates, ms per query)."""
+    start = time.perf_counter()
+    estimates = estimator.estimate(workload.queries, workload.thresholds)
+    elapsed = time.perf_counter() - start
+    per_query_ms = 1000.0 * elapsed / max(len(workload), 1)
+    return np.asarray(estimates, dtype=np.float64), per_query_ms
+
+
+def evaluate_estimator(
+    estimator: SelectivityEstimator,
+    split: WorkloadSplit,
+    measure_monotonicity: bool = False,
+    monotonicity_queries: int = 40,
+    monotonicity_thresholds: int = 50,
+    seed: int = 0,
+) -> EvaluationResult:
+    """Fit one estimator and measure accuracy, speed and (optionally) consistency."""
+    start = time.perf_counter()
+    estimator.fit(split)
+    fit_seconds = time.perf_counter() - start
+
+    validation_estimates, _ = _timed_estimate(estimator, split.validation)
+    test_estimates, estimation_ms = _timed_estimate(estimator, split.test)
+
+    monotonicity = None
+    if measure_monotonicity:
+        monotonicity = empirical_monotonicity(
+            estimator,
+            split.test.queries,
+            split.t_max,
+            num_queries=monotonicity_queries,
+            thresholds_per_query=monotonicity_thresholds,
+            seed=seed,
+        )
+
+    return EvaluationResult(
+        model_name=estimator.name,
+        guarantees_consistency=estimator.guarantees_consistency,
+        validation_metrics=compute_error_metrics(
+            validation_estimates, split.validation.selectivities
+        ),
+        test_metrics=compute_error_metrics(test_estimates, split.test.selectivities),
+        fit_seconds=fit_seconds,
+        estimation_milliseconds=estimation_ms,
+        monotonicity_percent=monotonicity,
+    )
+
+
+def build_setting_split(
+    setting: str,
+    scale: ExperimentScale,
+    threshold_distribution: str = "geometric",
+    seed: int = 0,
+) -> WorkloadSplit:
+    """Dataset + workload split for one of the paper's settings at a scale."""
+    dataset = make_scaled_dataset(setting, scale)
+    distance = setting_distance(setting)
+    return build_workload_split(
+        dataset,
+        distance,
+        num_queries=scale.num_queries,
+        thresholds_per_query=scale.thresholds_per_query,
+        threshold_distribution=threshold_distribution,
+        max_selectivity_fraction=scale.max_selectivity_fraction,
+        seed=seed,
+    )
+
+
+def run_setting(
+    setting: str,
+    scale: ExperimentScale,
+    models: Optional[Iterable[str]] = None,
+    threshold_distribution: str = "geometric",
+    measure_monotonicity: bool = False,
+    factories: Optional[Dict[str, EstimatorFactory]] = None,
+    split: Optional[WorkloadSplit] = None,
+    seed: int = 0,
+) -> SettingEvaluation:
+    """Evaluate a set of models on one dataset / distance setting.
+
+    Parameters
+    ----------
+    setting:
+        One of ``fasttext-cos``, ``fasttext-l2``, ``face-cos``,
+        ``youtube-cos``.
+    scale:
+        Experiment scale profile.
+    models:
+        Optional subset of model names (paper order preserved); all models by
+        default.
+    threshold_distribution:
+        ``"geometric"`` (Tables 1-4) or ``"beta"`` (Table 11).
+    measure_monotonicity:
+        Also compute the empirical monotonicity measure (Table 5).
+    factories:
+        Pre-built estimator factories; built from the registry when omitted.
+    split:
+        Pre-built workload split (to share across calls); built when omitted.
+    """
+    if split is None:
+        split = build_setting_split(
+            setting, scale, threshold_distribution=threshold_distribution, seed=seed
+        )
+    if factories is None:
+        factories = default_estimators(
+            scale,
+            num_vectors=split.dataset.num_vectors,
+            distance_name=split.distance.name,
+            include=models,
+            seed=seed,
+        )
+    evaluation = SettingEvaluation(setting=setting)
+    for name, factory in factories.items():
+        estimator = factory()
+        result = evaluate_estimator(
+            estimator,
+            split,
+            measure_monotonicity=measure_monotonicity,
+            monotonicity_queries=scale.monotonicity_queries,
+            monotonicity_thresholds=scale.monotonicity_thresholds,
+            seed=seed,
+        )
+        evaluation.results.append(result)
+    return evaluation

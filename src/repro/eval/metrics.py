@@ -1,0 +1,99 @@
+"""Error metrics used in the paper's evaluation (Appendix B.3, Section 7.3).
+
+* MSE, MAE, MAPE over a set of (estimate, ground truth) pairs.
+* Empirical monotonicity (Daniels & Velikova): the percentage of threshold
+  pairs whose estimates do not violate monotonicity, averaged over queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..estimator import SelectivityEstimator
+
+
+@dataclass(frozen=True)
+class ErrorMetrics:
+    """MSE / MAE / MAPE bundle for one estimator on one workload."""
+
+    mse: float
+    mae: float
+    mape: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"mse": self.mse, "mae": self.mae, "mape": self.mape}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MSE={self.mse:.2f} MAE={self.mae:.2f} MAPE={self.mape:.3f}"
+
+
+def mean_squared_error(prediction: np.ndarray, target: np.ndarray) -> float:
+    """MSE = mean((yhat - y)^2)."""
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    return float(np.mean((prediction - target) ** 2))
+
+
+def mean_absolute_error(prediction: np.ndarray, target: np.ndarray) -> float:
+    """MAE = mean(|yhat - y|)."""
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def mean_absolute_percentage_error(
+    prediction: np.ndarray, target: np.ndarray, minimum_target: float = 1.0
+) -> float:
+    """MAPE = mean(|yhat - y| / y) with targets floored at ``minimum_target``.
+
+    The floor avoids division by zero for empty-result queries; the paper's
+    workloads always have selectivity >= 1 so the floor is inactive there.
+    """
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    denominator = np.maximum(np.abs(target), minimum_target)
+    return float(np.mean(np.abs(prediction - target) / denominator))
+
+
+def compute_error_metrics(prediction: np.ndarray, target: np.ndarray) -> ErrorMetrics:
+    """All three paper metrics at once."""
+    return ErrorMetrics(
+        mse=mean_squared_error(prediction, target),
+        mae=mean_absolute_error(prediction, target),
+        mape=mean_absolute_percentage_error(prediction, target),
+    )
+
+
+def empirical_monotonicity(
+    estimator: SelectivityEstimator,
+    queries: np.ndarray,
+    t_max: float,
+    num_queries: int = 200,
+    thresholds_per_query: int = 100,
+    tolerance: float = 1e-9,
+    seed: int = 0,
+) -> float:
+    """Empirical monotonicity measure of Section 7.3 (as a percentage).
+
+    For each of ``num_queries`` queries, ``thresholds_per_query`` thresholds
+    are sampled in ``[0, t_max]``; all ordered threshold pairs are checked and
+    the fraction of pairs that respect monotonicity (estimate at the larger
+    threshold is not smaller) is averaged over queries.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    num_queries = min(num_queries, len(queries))
+    chosen = rng.choice(len(queries), size=num_queries, replace=False)
+    scores = []
+    for index in chosen:
+        thresholds = np.sort(rng.uniform(0.0, t_max, size=thresholds_per_query))
+        estimates = estimator.selectivity_curve(queries[index], thresholds)
+        differences = estimates[None, :] - estimates[:, None]  # [i, j] = est_j - est_i
+        upper = np.triu_indices(thresholds_per_query, k=1)  # pairs with t_j > t_i
+        violations = np.count_nonzero(differences[upper] < -tolerance)
+        total_pairs = len(upper[0])
+        scores.append(1.0 - violations / total_pairs)
+    return float(100.0 * np.mean(scores))

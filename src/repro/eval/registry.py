@@ -1,0 +1,125 @@
+"""Estimator factories keyed by the model names used in the paper's tables.
+
+The registry builds every estimator with hyper-parameters appropriate to the
+chosen :class:`~repro.experiments.scale.ExperimentScale`, so the accuracy,
+timing and monotonicity experiments all evaluate the same model zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..baselines import (
+    DLNEstimator,
+    DNNEstimator,
+    KDEEstimator,
+    LightGBMEstimator,
+    LSHEstimator,
+    MoEEstimator,
+    RMIEstimator,
+    UMNNEstimator,
+)
+from ..core import SelNetConfig, SelNetEstimator
+from ..estimator import SelectivityEstimator
+from ..experiments.scale import ExperimentScale
+
+EstimatorFactory = Callable[[], SelectivityEstimator]
+
+#: every model of Tables 1-4, in the paper's row order
+PAPER_MODEL_ORDER = (
+    "LSH",
+    "KDE",
+    "LightGBM",
+    "LightGBM-m",
+    "DNN",
+    "MoE",
+    "RMI",
+    "DLN",
+    "UMNN",
+    "SelNet",
+)
+
+#: the ablation rows of Table 6
+ABLATION_MODEL_ORDER = ("SelNet", "SelNet-ct", "SelNet-ad-ct")
+
+
+def selnet_factory(
+    scale: ExperimentScale,
+    variant: str = "SelNet",
+    seed: int = 0,
+    **config_overrides,
+) -> EstimatorFactory:
+    """Factory for a SelNet variant (``SelNet`` / ``SelNet-ct`` / ``SelNet-ad-ct``)."""
+    if variant == "SelNet":
+        overrides = dict(num_partitions=scale.num_partitions, seed=seed)
+    elif variant == "SelNet-ct":
+        overrides = dict(num_partitions=1, seed=seed)
+    elif variant == "SelNet-ad-ct":
+        overrides = dict(num_partitions=1, query_dependent_tau=False, seed=seed)
+    else:
+        raise KeyError(f"unknown SelNet variant {variant!r}")
+    overrides.update(config_overrides)
+
+    def build() -> SelectivityEstimator:
+        return SelNetEstimator(scale.selnet_config(**overrides), name=variant)
+
+    return build
+
+
+def default_estimators(
+    scale: ExperimentScale,
+    num_vectors: int,
+    distance_name: str,
+    include: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> Dict[str, EstimatorFactory]:
+    """The full model zoo for one dataset setting.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale controlling epochs / sizes / budgets.
+    num_vectors:
+        Database size (used for the KDE / LSH sampling budgets).
+    distance_name:
+        ``"cosine"`` or ``"euclidean"``; LSH is omitted for Euclidean
+        distance, exactly as in the paper's Table 2.
+    include:
+        Optional subset of model names to build (paper order is preserved).
+    seed:
+        Seed forwarded to every estimator.
+    """
+    samples = scale.sample_budget(num_vectors)
+    epochs = scale.baseline_epochs
+
+    factories: Dict[str, EstimatorFactory] = {
+        "KDE": lambda: KDEEstimator(num_samples=samples, seed=seed),
+        "LightGBM": lambda: LightGBMEstimator(
+            monotone=False, num_trees=scale.gbdt_trees, seed=seed
+        ),
+        "LightGBM-m": lambda: LightGBMEstimator(
+            monotone=True, num_trees=scale.gbdt_trees, seed=seed
+        ),
+        "DNN": lambda: DNNEstimator(epochs=epochs, seed=seed),
+        "MoE": lambda: MoEEstimator(epochs=epochs, num_experts=6, top_k=2, seed=seed),
+        "RMI": lambda: RMIEstimator(epochs=epochs, num_leaf_models=6, seed=seed),
+        "DLN": lambda: DLNEstimator(epochs=epochs, num_lattices=6, seed=seed),
+        "UMNN": lambda: UMNNEstimator(epochs=epochs, seed=seed),
+        "SelNet": selnet_factory(scale, "SelNet", seed=seed),
+        "SelNet-ct": selnet_factory(scale, "SelNet-ct", seed=seed),
+        "SelNet-ad-ct": selnet_factory(scale, "SelNet-ad-ct", seed=seed),
+    }
+    if distance_name == "cosine":
+        factories["LSH"] = lambda: LSHEstimator(num_samples=samples, seed=seed)
+
+    if include is None:
+        names: List[str] = [name for name in PAPER_MODEL_ORDER if name in factories]
+    else:
+        names = [name for name in include if name in factories]
+    return {name: factories[name] for name in names}
+
+
+#: models whose estimates are consistent by construction (the * in the tables)
+CONSISTENT_MODELS = frozenset(
+    {"LSH", "KDE", "LightGBM-m", "DLN", "UMNN", "SelNet", "SelNet-ct", "SelNet-ad-ct"}
+)

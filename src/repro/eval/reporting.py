@@ -1,0 +1,119 @@
+"""Plain-text table formatting for experiment results.
+
+The benchmark harness prints the same rows the paper reports; these helpers
+render them as fixed-width text tables (and CSV lines) so the output of a
+benchmark run can be compared side by side with the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .harness import EvaluationResult, SettingEvaluation
+
+
+def format_accuracy_table(evaluation: SettingEvaluation, title: Optional[str] = None) -> str:
+    """Render one accuracy table (the layout of Tables 1-4 / 11).
+
+    Columns: MSE / MAE / MAPE, each for the validation and the test split.
+    Models that guarantee consistency are marked with ``*`` as in the paper.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'Model':<14} {'MSE(valid)':>12} {'MSE(test)':>12} "
+        f"{'MAE(valid)':>12} {'MAE(test)':>12} {'MAPE(valid)':>12} {'MAPE(test)':>12}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for result in evaluation.results:
+        marker = " *" if result.guarantees_consistency else "  "
+        lines.append(
+            f"{result.model_name + marker:<14} "
+            f"{result.validation_metrics.mse:>12.2f} {result.test_metrics.mse:>12.2f} "
+            f"{result.validation_metrics.mae:>12.2f} {result.test_metrics.mae:>12.2f} "
+            f"{result.validation_metrics.mape:>12.3f} {result.test_metrics.mape:>12.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_timing_table(
+    evaluations: Dict[str, SettingEvaluation], title: Optional[str] = None
+) -> str:
+    """Render the estimation-time table (layout of Table 7).
+
+    Rows are models, columns are settings, entries are milliseconds per query.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    settings = list(evaluations)
+    header = f"{'Model':<14} " + " ".join(f"{setting:>14}" for setting in settings)
+    lines.append(header)
+    lines.append("-" * len(header))
+    model_names: List[str] = []
+    for evaluation in evaluations.values():
+        for result in evaluation.results:
+            if result.model_name not in model_names:
+                model_names.append(result.model_name)
+    for model in model_names:
+        cells = []
+        for setting in settings:
+            by_model = evaluations[setting].by_model()
+            if model in by_model:
+                cells.append(f"{by_model[model].estimation_milliseconds:>14.3f}")
+            else:
+                cells.append(f"{'-':>14}")
+        lines.append(f"{model:<14} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_monotonicity_table(evaluation: SettingEvaluation, title: Optional[str] = None) -> str:
+    """Render the empirical-monotonicity table (layout of Table 5)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'Model':<14} {'Monotonicity (%)':>18}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for result in evaluation.results:
+        marker = " *" if result.guarantees_consistency else "  "
+        value = result.monotonicity_percent
+        rendered = f"{value:.2f}" if value is not None else "-"
+        lines.append(f"{result.model_name + marker:<14} {rendered:>18}")
+    return "\n".join(lines)
+
+
+def format_sweep_table(
+    rows: Sequence[Dict[str, float]],
+    parameter_name: str,
+    metric_names: Sequence[str] = ("mse", "mae", "mape"),
+    title: Optional[str] = None,
+) -> str:
+    """Render a hyper-parameter sweep (layout of Tables 8-10).
+
+    ``rows`` are dictionaries with the parameter value and metric values.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{parameter_name:<18} " + " ".join(f"{name.upper():>12}" for name in metric_names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = " ".join(f"{float(row[name]):>12.3f}" for name in metric_names)
+        lines.append(f"{str(row[parameter_name]):<18} {cells}")
+    return "\n".join(lines)
+
+
+def results_to_csv(results: Iterable[EvaluationResult]) -> str:
+    """Serialise evaluation results as CSV text (header + one row per model)."""
+    rows = [result.as_row() for result in results]
+    if not rows:
+        return ""
+    columns = list(rows[0].keys())
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(column, "")) for column in columns))
+    return "\n".join(lines)

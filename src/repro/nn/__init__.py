@@ -1,0 +1,59 @@
+"""Neural-network substrate: modules, layers, losses, optimizers, training."""
+
+from .autoencoder import Autoencoder
+from .data import DataLoader, train_validation_split
+from .layers import (
+    Dropout,
+    ELUPlusOne,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    feed_forward,
+)
+from .losses import (
+    DEFAULT_HUBER_DELTA,
+    LOG_EPSILON,
+    huber_loss,
+    log_huber_loss,
+    mae_loss,
+    mse_loss,
+    q_error,
+)
+from .module import Module
+from .optim import SGD, Adam, Optimizer
+from .serialization import load_module, save_module
+from .train import TrainingConfig, TrainingHistory, fit_regressor
+
+__all__ = [
+    "Module",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softplus",
+    "ELUPlusOne",
+    "Dropout",
+    "Sequential",
+    "feed_forward",
+    "Autoencoder",
+    "DataLoader",
+    "train_validation_split",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "log_huber_loss",
+    "q_error",
+    "DEFAULT_HUBER_DELTA",
+    "LOG_EPSILON",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "TrainingConfig",
+    "TrainingHistory",
+    "fit_regressor",
+    "save_module",
+    "load_module",
+]

@@ -1,0 +1,101 @@
+"""Autoencoder used to learn the latent representation ``z_x`` of a query.
+
+SelNet augments its input with an autoencoder embedding of the query object
+learned over the whole database (Section 5.2, "Network Architecture"): the AE
+is pre-trained on all database objects and then fine-tuned jointly with the
+estimator on the training queries via the ``lambda * J_AE`` term in the loss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .data import DataLoader
+from .layers import Sequential, feed_forward
+from .losses import mse_loss
+from .module import Module
+from .optim import Adam
+
+
+class Autoencoder(Module):
+    """Symmetric feed-forward autoencoder.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimensionality of the data vectors.
+    latent_dim:
+        Size of the bottleneck representation ``z_x``.
+    hidden_sizes:
+        Hidden layer sizes of the encoder; the decoder mirrors them.
+    rng:
+        Random generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        latent_dim: int,
+        hidden_sizes: Sequence[int] = (64,),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if rng is None:
+            rng = np.random.default_rng()
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        self.encoder: Sequential = feed_forward(input_dim, list(hidden_sizes), latent_dim, rng=rng)
+        self.decoder: Sequential = feed_forward(latent_dim, list(reversed(hidden_sizes)), input_dim, rng=rng)
+
+    def encode(self, x: Tensor) -> Tensor:
+        """Map inputs to their latent representation ``z_x``."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.encoder(x)
+
+    def decode(self, z: Tensor) -> Tensor:
+        """Reconstruct inputs from latent codes."""
+        return self.decoder(z)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.decode(self.encode(x))
+
+    def reconstruction_loss(self, x: Tensor) -> Tensor:
+        """Mean squared reconstruction error ``J_AE`` for a batch."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return mse_loss(self.forward(x), x.detach())
+
+    def pretrain(
+        self,
+        data: np.ndarray,
+        epochs: int = 20,
+        batch_size: int = 256,
+        learning_rate: float = 1e-3,
+        rng: Optional[np.random.Generator] = None,
+        verbose: bool = False,
+    ) -> list:
+        """Pre-train on the full dataset (paper: AE is trained on all of D).
+
+        Returns the list of per-epoch mean reconstruction losses.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        optimizer = Adam(self.parameters(), learning_rate=learning_rate)
+        loader = DataLoader(data, batch_size=batch_size, shuffle=True, rng=rng)
+        history = []
+        for epoch in range(epochs):
+            losses = []
+            for (batch,) in loader:
+                optimizer.zero_grad()
+                loss = self.reconstruction_loss(Tensor(batch))
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            epoch_loss = float(np.mean(losses)) if losses else 0.0
+            history.append(epoch_loss)
+            if verbose:
+                print(f"[autoencoder] epoch {epoch + 1}/{epochs} loss={epoch_loss:.6f}")
+        return history

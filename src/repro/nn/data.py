@@ -1,0 +1,74 @@
+"""Mini-batch iteration utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class DataLoader:
+    """Iterate over aligned numpy arrays in shuffled mini-batches.
+
+    Parameters
+    ----------
+    arrays:
+        One or more arrays with the same first dimension.
+    batch_size:
+        Mini-batch size; the final batch may be smaller.
+    shuffle:
+        Whether to reshuffle the row order at the start of every epoch.
+    rng:
+        Random generator for shuffling (reproducibility).
+    """
+
+    def __init__(
+        self,
+        *arrays: np.ndarray,
+        batch_size: int = 128,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not arrays:
+            raise ValueError("DataLoader needs at least one array")
+        length = len(arrays[0])
+        for array in arrays:
+            if len(array) != length:
+                raise ValueError("all arrays must have the same length")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._length = length
+
+    def __len__(self) -> int:
+        return (self._length + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        order = np.arange(self._length)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, self._length, self.batch_size):
+            index = order[start : start + self.batch_size]
+            yield tuple(array[index] for array in self.arrays)
+
+
+def train_validation_split(
+    arrays: Sequence[np.ndarray],
+    validation_fraction: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Tuple[np.ndarray, ...], Tuple[np.ndarray, ...]]:
+    """Randomly split aligned arrays into train and validation subsets."""
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must lie in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng()
+    length = len(arrays[0])
+    order = rng.permutation(length)
+    cut = int(round(length * (1.0 - validation_fraction)))
+    train_index, valid_index = order[:cut], order[cut:]
+    train = tuple(np.asarray(a)[train_index] for a in arrays)
+    valid = tuple(np.asarray(a)[valid_index] for a in arrays)
+    return train, valid

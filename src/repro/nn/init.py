@@ -1,0 +1,44 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a weight matrix."""
+    fan_in, fan_out = shape[0], shape[1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited to ReLU networks."""
+    fan_in = shape[0]
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def small_normal(shape, rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Small Gaussian initialisation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+_INITIALIZERS = {
+    "xavier": xavier_uniform,
+    "he": he_normal,
+    "small": small_normal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initialiser by name (``xavier``, ``he`` or ``small``)."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError as error:
+        raise KeyError(f"unknown initializer {name!r}; choose from {sorted(_INITIALIZERS)}") from error

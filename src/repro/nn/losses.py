@@ -1,0 +1,79 @@
+"""Loss functions.
+
+The central loss of the paper (Section 5.1) is the Huber loss applied to the
+logarithm of the true and estimated selectivities — robust to the
+orders-of-magnitude variance in selectivity across queries.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..autodiff import Tensor, huber
+
+ArrayOrTensor = Union[Tensor, np.ndarray]
+
+#: Standard robust-regression delta recommended by Huber / used in the paper.
+DEFAULT_HUBER_DELTA = 1.345
+
+#: Small padding constant added before taking logarithms (paper, Section 5.1).
+LOG_EPSILON = 1.0
+
+
+def _ensure_tensor(value: ArrayOrTensor) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def mse_loss(prediction: ArrayOrTensor, target: ArrayOrTensor) -> Tensor:
+    """Mean squared error."""
+    prediction = _ensure_tensor(prediction)
+    target = _ensure_tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: ArrayOrTensor, target: ArrayOrTensor) -> Tensor:
+    """Mean absolute error."""
+    prediction = _ensure_tensor(prediction)
+    target = _ensure_tensor(target)
+    return (prediction - target.detach()).abs().mean()
+
+
+def huber_loss(prediction: ArrayOrTensor, target: ArrayOrTensor, delta: float = DEFAULT_HUBER_DELTA) -> Tensor:
+    """Plain Huber loss between prediction and target."""
+    prediction = _ensure_tensor(prediction)
+    target = _ensure_tensor(target)
+    return huber(prediction - target.detach(), delta=delta).mean()
+
+
+def log_huber_loss(
+    prediction: ArrayOrTensor,
+    target: ArrayOrTensor,
+    delta: float = DEFAULT_HUBER_DELTA,
+    epsilon: float = LOG_EPSILON,
+) -> Tensor:
+    """Huber loss on the log-transformed selectivities (Equation 2).
+
+    ``r = log(y + eps) - log(y_hat + eps)`` with the Huber penalty applied to
+    ``r``.  Predictions are clipped below at 0 before the logarithm so that a
+    slightly negative network output cannot produce NaNs.
+    """
+    prediction = _ensure_tensor(prediction)
+    target = _ensure_tensor(target)
+    safe_prediction = prediction.clip(minimum=0.0)
+    log_prediction = (safe_prediction + epsilon).log()
+    log_target = Tensor(np.log(np.clip(target.data, 0.0, None) + epsilon))
+    return huber(log_target - log_prediction, delta=delta).mean()
+
+
+def q_error(prediction: np.ndarray, target: np.ndarray, epsilon: float = 1.0) -> np.ndarray:
+    """Per-query q-error, a common cardinality-estimation quality measure.
+
+    Not used in the paper's tables but handy for diagnostics; defined as
+    ``max((y + eps) / (yhat + eps), (yhat + eps) / (y + eps))``.
+    """
+    prediction = np.asarray(prediction, dtype=np.float64) + epsilon
+    target = np.asarray(target, dtype=np.float64) + epsilon
+    return np.maximum(prediction / target, target / prediction)

@@ -1,0 +1,126 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+
+class Optimizer:
+    """Base class holding a parameter list and a learning rate."""
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        """Clear the gradient of every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - self.learning_rate * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with bias correction and gradient clipping.
+
+    Parameters
+    ----------
+    parameters:
+        Trainable tensors.
+    learning_rate, beta1, beta2, epsilon, weight_decay:
+        Standard Adam hyper-parameters.
+    max_grad_norm:
+        Optional global gradient-norm clip, useful for stabilising the
+        Huber-log training of the selectivity models.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+        max_grad_norm: Optional[float] = None,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _clip_gradients(self) -> None:
+        if self.max_grad_norm is None:
+            return
+        total = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                total += float(np.sum(param.grad ** 2))
+        norm = np.sqrt(total)
+        if norm > self.max_grad_norm and norm > 0:
+            scale = self.max_grad_norm / norm
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.grad = param.grad * scale
+
+    def step(self) -> None:
+        self._clip_gradients()
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._step_count
+        bias_correction2 = 1.0 - self.beta2 ** self._step_count
+        for param, m, v in zip(self.parameters, self._first_moment, self._second_moment):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            param.data = param.data - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,38 @@
+"""Saving and loading module parameters.
+
+Checkpoints are plain ``.npz`` archives holding one array per parameter,
+keyed by the dotted names produced by :meth:`repro.nn.Module.named_parameters`.
+They are portable across processes as long as the module is re-built with the
+same architecture (the same configuration / random-shape choices).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Write every parameter of ``module`` to an ``.npz`` checkpoint."""
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: PathLike) -> Module:
+    """Load a checkpoint written by :func:`save_module` into ``module``.
+
+    The module must already have the same architecture (same parameter names
+    and shapes); mismatches raise ``KeyError`` / ``ValueError``.
+    """
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

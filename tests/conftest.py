@@ -1,0 +1,63 @@
+"""Shared pytest fixtures: tiny datasets and workload splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SelNetConfig
+from repro.data import build_workload_split, make_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_face_dataset():
+    """A small normalised clustered dataset (cosine distance)."""
+    return make_dataset("face_like", num_vectors=600, dim=10, num_clusters=12, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_fasttext_dataset():
+    """A small unnormalised dataset (cosine and Euclidean distance)."""
+    return make_dataset("fasttext_like", num_vectors=600, dim=12, num_clusters=10, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_cosine_split(tiny_face_dataset):
+    """Workload split on the tiny cosine dataset."""
+    return build_workload_split(
+        tiny_face_dataset, "cosine", num_queries=40, thresholds_per_query=10, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_euclidean_split(tiny_fasttext_dataset):
+    """Workload split on the tiny Euclidean dataset."""
+    return build_workload_split(
+        tiny_fasttext_dataset, "euclidean", num_queries=40, thresholds_per_query=10, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_selnet_config():
+    """A SelNet configuration small enough for unit tests."""
+    return SelNetConfig(
+        num_control_points=6,
+        latent_dim=4,
+        tau_hidden_sizes=(16,),
+        p_hidden_sizes=(24, 16),
+        embedding_dim=6,
+        ae_hidden_sizes=(16,),
+        epochs=8,
+        pretrain_epochs=3,
+        ae_pretrain_epochs=3,
+        batch_size=64,
+        learning_rate=5e-3,
+        early_stopping_patience=None,
+        seed=1,
+    )
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,292 @@
+"""Unit tests for the autodiff Tensor core: ops, broadcasting, backward."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import Tensor, check_gradients, concat, maximum, minimum, stack, unbroadcast, where
+
+
+def make_tensor(rng, shape, requires_grad=True):
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        tensor = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert tensor.shape == (2, 2)
+        assert tensor.dtype == np.float64
+        assert not tensor.requires_grad
+
+    def test_item_and_len(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 3.0).detach()
+        assert not b.requires_grad
+
+    def test_backward_requires_grad(self):
+        a = Tensor([1.0], requires_grad=False)
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_backward_non_scalar_needs_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3).sum().backward()
+        (a * 3).sum().backward()
+        assert a.grad == pytest.approx(np.array([6.0]))
+
+    def test_zero_grad(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * 3).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestUnbroadcast:
+    def test_no_change_for_same_shape(self):
+        grad = np.ones((3, 4))
+        assert unbroadcast(grad, (3, 4)).shape == (3, 4)
+
+    def test_sums_added_leading_dims(self):
+        grad = np.ones((5, 3, 4))
+        out = unbroadcast(grad, (3, 4))
+        assert out.shape == (3, 4)
+        assert np.all(out == 5)
+
+    def test_sums_expanded_axes(self):
+        grad = np.ones((3, 4))
+        out = unbroadcast(grad, (3, 1))
+        assert out.shape == (3, 1)
+        assert np.all(out == 4)
+
+    def test_scalar_target(self):
+        grad = np.ones((2, 2))
+        out = unbroadcast(grad, ())
+        assert out.shape == ()
+        assert out == pytest.approx(4.0)
+
+
+class TestArithmeticGradients:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda a, b: a + b,
+            lambda a, b: a - b,
+            lambda a, b: a * b,
+            lambda a, b: a / (b * b + 1.0),
+            lambda a, b: a * 2.0 + b * -0.5,
+            lambda a, b: -a + b,
+        ],
+        ids=["add", "sub", "mul", "div", "scalar_mix", "neg"],
+    )
+    def test_binary_ops(self, rng, fn):
+        a = make_tensor(rng, (3, 4))
+        b = make_tensor(rng, (3, 4))
+        assert check_gradients(fn, [a, b])
+
+    def test_broadcast_add(self, rng):
+        a = make_tensor(rng, (3, 4))
+        b = make_tensor(rng, (4,))
+        assert check_gradients(lambda x, y: x + y, [a, b])
+
+    def test_broadcast_mul_column(self, rng):
+        a = make_tensor(rng, (3, 4))
+        b = make_tensor(rng, (3, 1))
+        assert check_gradients(lambda x, y: x * y, [a, b])
+
+    def test_pow(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(3, 3))) + 0.5, requires_grad=True)
+        assert check_gradients(lambda x: x ** 3, [a])
+
+    def test_pow_rejects_tensor_exponent(self, rng):
+        a = make_tensor(rng, (2, 2))
+        with pytest.raises(TypeError):
+            a ** Tensor([2.0])
+
+    def test_radd_rsub_rtruediv(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(3,))) + 1.0, requires_grad=True)
+        assert check_gradients(lambda x: 2.0 + x, [a])
+        assert check_gradients(lambda x: 2.0 - x, [a])
+        assert check_gradients(lambda x: 2.0 / x, [a])
+
+
+class TestMatmulAndShape:
+    def test_matmul_gradients(self, rng):
+        a = make_tensor(rng, (4, 3))
+        b = make_tensor(rng, (3, 5))
+        assert check_gradients(lambda x, y: x @ y, [a, b])
+
+    def test_matmul_value(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(3, 2))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_transpose(self, rng):
+        a = make_tensor(rng, (2, 5))
+        assert check_gradients(lambda x: x.T @ x, [a])
+
+    def test_reshape_roundtrip(self, rng):
+        a = make_tensor(rng, (2, 6))
+        assert check_gradients(lambda x: x.reshape(3, 4) * 2.0, [a])
+
+    def test_getitem_slice(self, rng):
+        a = make_tensor(rng, (4, 5))
+        assert check_gradients(lambda x: x[:, 1:3] * 3.0, [a])
+
+    def test_getitem_row(self, rng):
+        a = make_tensor(rng, (4, 5))
+        assert check_gradients(lambda x: x[2], [a])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = make_tensor(rng, (3, 4))
+        assert check_gradients(lambda x: x.sum(), [a])
+
+    @pytest.mark.parametrize("axis,keepdims", [(0, False), (1, False), (0, True), (1, True)])
+    def test_sum_axis(self, rng, axis, keepdims):
+        a = make_tensor(rng, (3, 4))
+        assert check_gradients(lambda x: x.sum(axis=axis, keepdims=keepdims), [a])
+
+    def test_mean(self, rng):
+        a = make_tensor(rng, (3, 4))
+        assert check_gradients(lambda x: x.mean(axis=1), [a])
+        np.testing.assert_allclose(a.mean().data, a.data.mean())
+
+    def test_max_axis(self, rng):
+        a = make_tensor(rng, (3, 4))
+        assert check_gradients(lambda x: x.max(axis=1), [a], atol=1e-3)
+
+    def test_max_value(self, rng):
+        a = Tensor(rng.normal(size=(6,)))
+        assert a.max().item() == pytest.approx(a.data.max())
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda x: x.exp(),
+            lambda x: (x * x + 1.0).log(),
+            lambda x: (x * x + 0.1).sqrt(),
+            lambda x: x.relu(),
+            lambda x: x.sigmoid(),
+            lambda x: x.tanh(),
+            lambda x: x.softplus(),
+            lambda x: x.abs(),
+            lambda x: x.clip(-0.5, 0.5),
+        ],
+        ids=["exp", "log", "sqrt", "relu", "sigmoid", "tanh", "softplus", "abs", "clip"],
+    )
+    def test_elementwise_gradients(self, rng, fn):
+        a = Tensor(rng.normal(size=(3, 4)) + 0.05, requires_grad=True)
+        assert check_gradients(fn, [a], atol=1e-3)
+
+    def test_relu_zeroes_negative(self):
+        out = Tensor([-1.0, 2.0]).relu()
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_sigmoid_range(self, rng):
+        out = Tensor(rng.normal(size=100) * 10).sigmoid()
+        assert np.all(out.data > 0.0) and np.all(out.data < 1.0)
+
+
+class TestCombinators:
+    def test_concat_gradients(self, rng):
+        a = make_tensor(rng, (3, 2))
+        b = make_tensor(rng, (3, 4))
+        assert check_gradients(lambda x, y: concat([x, y], axis=1), [a, b])
+
+    def test_stack_gradients(self, rng):
+        a = make_tensor(rng, (3,))
+        b = make_tensor(rng, (3,))
+        assert check_gradients(lambda x, y: stack([x, y], axis=1), [a, b])
+
+    def test_where_gradients(self, rng):
+        a = make_tensor(rng, (3, 4))
+        b = make_tensor(rng, (3, 4))
+        condition = rng.random((3, 4)) > 0.5
+        assert check_gradients(lambda x, y: where(condition, x, y), [a, b])
+
+    def test_maximum_minimum(self, rng):
+        a = make_tensor(rng, (3, 4))
+        b = make_tensor(rng, (3, 4))
+        assert check_gradients(lambda x, y: maximum(x, y), [a, b], atol=1e-3)
+        assert check_gradients(lambda x, y: minimum(x, y), [a, b], atol=1e-3)
+
+    def test_comparison_returns_numpy(self, rng):
+        a = Tensor(rng.normal(size=(3,)))
+        b = Tensor(rng.normal(size=(3,)))
+        assert isinstance(a > b, np.ndarray)
+        assert isinstance(a <= 0.0, np.ndarray)
+
+
+class TestGraphTraversal:
+    def test_diamond_graph_gradient(self):
+        # y = (a * 2) + (a * 3); dy/da = 5
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        y = (a * 2.0) + (a * 3.0)
+        y.sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0])
+
+    def test_deep_chain(self):
+        a = Tensor([0.5], requires_grad=True)
+        out = a
+        for _ in range(50):
+            out = out * 1.01 + 0.001
+        out.sum().backward()
+        assert a.grad is not None and np.isfinite(a.grad).all()
+
+    def test_shared_subexpression(self, rng):
+        a = make_tensor(rng, (3, 3))
+        assert check_gradients(lambda x: (x.relu() * x.relu()).sum(axis=0), [a], atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=5),
+        elements=st.floats(-10, 10, allow_nan=False),
+    )
+)
+def test_property_sum_matches_numpy(data):
+    """Property: Tensor.sum agrees with numpy and its gradient is all ones."""
+    tensor = Tensor(data.copy(), requires_grad=True)
+    out = tensor.sum()
+    assert out.item() == pytest.approx(float(data.sum()), rel=1e-9, abs=1e-9)
+    out.backward()
+    np.testing.assert_allclose(tensor.grad, np.ones_like(data))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+        elements=st.floats(-5, 5, allow_nan=False),
+    )
+)
+def test_property_relu_idempotent_and_nonnegative(data):
+    """Property: relu output is non-negative and relu(relu(x)) == relu(x)."""
+    tensor = Tensor(data.copy())
+    once = tensor.relu()
+    twice = once.relu()
+    assert np.all(once.data >= 0)
+    np.testing.assert_allclose(once.data, twice.data)

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface and module serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.cli import FIGURE_RUNNERS, TABLE_RUNNERS, build_parser, main
+from repro.nn import feed_forward, load_module, save_module
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_outputs(self, rng, tmp_path):
+        model = feed_forward(5, [8], 1, rng=rng)
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+
+        clone = feed_forward(5, [8], 1, rng=np.random.default_rng(777))
+        load_module(clone, path)
+        x = Tensor(rng.normal(size=(4, 5)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_architecture_mismatch_rejected(self, rng, tmp_path):
+        model = feed_forward(5, [8], 1, rng=rng)
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        other = feed_forward(5, [9], 1, rng=rng)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(other, path)
+
+    def test_save_empty_module_rejected(self, tmp_path):
+        from repro.nn import Module
+
+        class Empty(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(ValueError):
+            save_module(Empty(), tmp_path / "empty.npz")
+
+    def test_selnet_model_roundtrip(self, tiny_cosine_split, fast_selnet_config, rng, tmp_path):
+        from repro.core import SelNetModel
+
+        model = SelNetModel(
+            input_dim=tiny_cosine_split.train.queries.shape[1],
+            t_max=tiny_cosine_split.t_max,
+            config=fast_selnet_config,
+            rng=rng,
+        )
+        path = tmp_path / "selnet.npz"
+        save_module(model, path)
+        clone = SelNetModel(
+            input_dim=tiny_cosine_split.train.queries.shape[1],
+            t_max=tiny_cosine_split.t_max,
+            config=fast_selnet_config,
+            rng=np.random.default_rng(999),
+        )
+        load_module(clone, path)
+        queries = tiny_cosine_split.test.queries[:5]
+        thresholds = tiny_cosine_split.test.thresholds[:5]
+        np.testing.assert_allclose(
+            model.predict(queries, thresholds), clone.predict(queries, thresholds)
+        )
+
+
+class TestCLI:
+    def test_runner_tables_cover_paper(self):
+        assert set(TABLE_RUNNERS) == set(range(1, 12))
+        assert set(FIGURE_RUNNERS) == {3, 4, 5}
+
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table  3" in output and "figure 4" in output
+
+    def test_figure3_command(self, capsys, tmp_path):
+        output_file = tmp_path / "figure3.txt"
+        assert main(["figure", "3", "--scale", "tiny", "--output", str(output_file)]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+        assert "Figure 3" in output_file.read_text()
+
+    def test_invalid_table_number(self):
+        with pytest.raises(SystemExit):
+            main(["table", "99"])

@@ -1,0 +1,304 @@
+"""Tests for the SelNet models, trainer, estimator API and incremental learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor
+from repro.core import (
+    IncrementalConfig,
+    IncrementalSelNet,
+    PartitionedSelNet,
+    SelNetConfig,
+    SelNetEstimator,
+    SelNetModel,
+    train_selnet_model,
+)
+from repro.data import generate_update_stream
+from repro.index import cover_tree_partitioning
+
+
+class TestSelNetConfig:
+    def test_defaults_valid(self):
+        config = SelNetConfig()
+        assert config.num_control_points > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_control_points": 0},
+            {"num_partitions": 0},
+            {"partition_method": "metis"},
+            {"partition_ratio": 0.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SelNetConfig(**kwargs)
+
+    def test_scaled_for_paper(self):
+        paper = SelNetConfig().scaled_for_paper()
+        assert paper.num_control_points == 50
+        assert paper.epochs == 1500
+
+
+class TestSelNetModel:
+    @pytest.fixture()
+    def model(self, fast_selnet_config, rng):
+        return SelNetModel(input_dim=10, t_max=1.0, config=fast_selnet_config, rng=rng)
+
+    def test_forward_shape(self, model, rng):
+        queries = Tensor(rng.normal(size=(6, 10)))
+        thresholds = rng.uniform(0, 1, size=6)
+        out = model.forward(queries, thresholds)
+        assert out.shape == (6,)
+
+    def test_predict_non_negative(self, model, rng):
+        predictions = model.predict(rng.normal(size=(8, 10)), rng.uniform(0, 1, size=8))
+        assert np.all(predictions >= 0)
+
+    def test_consistency_untrained(self, model, rng):
+        """Monotonicity must hold even before any training (by construction)."""
+        query = rng.normal(size=10)
+        thresholds = np.linspace(0, 1, 50)
+        curve = model.predict(np.repeat(query[None, :], 50, axis=0), thresholds)
+        assert np.all(np.diff(curve) >= -1e-9)
+
+    def test_curve_for_query(self, model, rng):
+        curve = model.curve_for_query(rng.normal(size=10))
+        assert curve.is_monotone
+        assert curve.tau[0] == pytest.approx(0.0)
+        assert curve.tau[-1] == pytest.approx(1.0)
+
+    def test_augment_concatenates_latent(self, model, rng):
+        augmented = model.augment(Tensor(rng.normal(size=(4, 10))))
+        assert augmented.shape == (4, 10 + model.config.latent_dim)
+
+    def test_gradients_flow_through_whole_model(self, model, rng):
+        queries = Tensor(rng.normal(size=(5, 10)))
+        out = model.forward(queries, rng.uniform(0.1, 0.9, size=5))
+        out.sum().backward()
+        with_grad = sum(1 for p in model.parameters() if p.grad is not None and np.any(p.grad != 0))
+        assert with_grad > 0
+
+
+class TestSelNetTraining:
+    def test_training_reduces_loss(self, tiny_cosine_split, fast_selnet_config, rng):
+        model = SelNetModel(
+            input_dim=tiny_cosine_split.train.queries.shape[1],
+            t_max=tiny_cosine_split.t_max,
+            config=fast_selnet_config,
+            rng=rng,
+        )
+        history = train_selnet_model(
+            model, tiny_cosine_split.train, tiny_cosine_split.validation, fast_selnet_config, rng=rng
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_estimator_fit_and_estimate(self, tiny_cosine_split, fast_selnet_config):
+        estimator = SelNetEstimator(fast_selnet_config)
+        estimator.fit(tiny_cosine_split)
+        estimates = estimator.estimate(
+            tiny_cosine_split.test.queries, tiny_cosine_split.test.thresholds
+        )
+        assert estimates.shape == (len(tiny_cosine_split.test),)
+        assert np.all(estimates >= 0)
+        assert np.all(np.isfinite(estimates))
+
+    def test_estimator_beats_constant_baseline(self, tiny_cosine_split, fast_selnet_config):
+        """Sanity: the trained model beats predicting the training mean."""
+        estimator = SelNetEstimator(fast_selnet_config).fit(tiny_cosine_split)
+        estimates = estimator.estimate(
+            tiny_cosine_split.test.queries, tiny_cosine_split.test.thresholds
+        )
+        truth = tiny_cosine_split.test.selectivities
+        model_mse = np.mean((estimates - truth) ** 2)
+        constant_mse = np.mean((tiny_cosine_split.train.selectivities.mean() - truth) ** 2)
+        assert model_mse < constant_mse
+
+    def test_estimator_requires_fit(self, fast_selnet_config, rng):
+        estimator = SelNetEstimator(fast_selnet_config)
+        with pytest.raises(RuntimeError):
+            estimator.estimate(rng.normal(size=(2, 10)), np.array([0.1, 0.2]))
+
+    def test_estimator_names(self, fast_selnet_config):
+        from dataclasses import replace
+
+        assert SelNetEstimator(replace(fast_selnet_config, num_partitions=3)).name == "SelNet"
+        assert SelNetEstimator(replace(fast_selnet_config, num_partitions=1)).name == "SelNet-ct"
+        assert (
+            SelNetEstimator(replace(fast_selnet_config, query_dependent_tau=False)).name
+            == "SelNet-ad-ct"
+        )
+
+    def test_consistency_after_training(self, tiny_cosine_split, fast_selnet_config):
+        estimator = SelNetEstimator(fast_selnet_config).fit(tiny_cosine_split)
+        query = tiny_cosine_split.test.queries[0]
+        thresholds = np.linspace(0, tiny_cosine_split.t_max, 60)
+        curve = estimator.selectivity_curve(query, thresholds)
+        assert np.all(np.diff(curve) >= -1e-9)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_property_untrained_estimates_monotone(self, tiny_cosine_split, seed):
+        """Property: consistency holds for any random initialisation (Lemma 1)."""
+        config = SelNetConfig(
+            num_control_points=5,
+            latent_dim=3,
+            tau_hidden_sizes=(6,),
+            p_hidden_sizes=(8,),
+            embedding_dim=4,
+            ae_hidden_sizes=(6,),
+            epochs=1,
+            ae_pretrain_epochs=0,
+            seed=seed,
+        )
+        model = SelNetModel(
+            input_dim=tiny_cosine_split.train.queries.shape[1],
+            t_max=tiny_cosine_split.t_max,
+            config=config,
+            rng=np.random.default_rng(seed),
+        )
+        query = tiny_cosine_split.test.queries[seed % len(tiny_cosine_split.test)]
+        thresholds = np.linspace(0, tiny_cosine_split.t_max, 30)
+        curve = model.predict(np.repeat(query[None, :], 30, axis=0), thresholds)
+        assert np.all(np.diff(curve) >= -1e-9)
+
+
+class TestPartitionedSelNet:
+    def test_partitioned_fit_and_estimate(self, tiny_cosine_split, fast_selnet_config):
+        from dataclasses import replace
+
+        config = replace(fast_selnet_config, num_partitions=3, epochs=4, pretrain_epochs=2)
+        estimator = SelNetEstimator(config).fit(tiny_cosine_split)
+        estimates = estimator.estimate(
+            tiny_cosine_split.test.queries, tiny_cosine_split.test.thresholds
+        )
+        assert np.all(estimates >= 0) and np.all(np.isfinite(estimates))
+
+    def test_partition_count_mismatch_rejected(self, tiny_cosine_split, fast_selnet_config, rng):
+        from dataclasses import replace
+
+        config = replace(fast_selnet_config, num_partitions=3)
+        partitioning = cover_tree_partitioning(
+            tiny_cosine_split.dataset.vectors, num_partitions=2, distance=tiny_cosine_split.distance
+        )
+        with pytest.raises(ValueError):
+            PartitionedSelNet(
+                tiny_cosine_split.train.queries.shape[1],
+                tiny_cosine_split.t_max,
+                config,
+                partitioning,
+                rng=rng,
+            )
+
+    def test_local_models_share_autoencoder(self, tiny_cosine_split, fast_selnet_config, rng):
+        from dataclasses import replace
+
+        config = replace(fast_selnet_config, num_partitions=2)
+        partitioning = cover_tree_partitioning(
+            tiny_cosine_split.dataset.vectors, num_partitions=2, distance=tiny_cosine_split.distance
+        )
+        model = PartitionedSelNet(
+            tiny_cosine_split.train.queries.shape[1],
+            tiny_cosine_split.t_max,
+            config,
+            partitioning,
+            rng=rng,
+        )
+        assert all(local.autoencoder is model.autoencoder for local in model.local_models)
+
+    def test_global_is_indicator_weighted_sum(self, tiny_cosine_split, fast_selnet_config, rng):
+        from dataclasses import replace
+
+        config = replace(fast_selnet_config, num_partitions=2)
+        partitioning = cover_tree_partitioning(
+            tiny_cosine_split.dataset.vectors, num_partitions=2, distance=tiny_cosine_split.distance
+        )
+        model = PartitionedSelNet(
+            tiny_cosine_split.train.queries.shape[1],
+            tiny_cosine_split.t_max,
+            config,
+            partitioning,
+            rng=rng,
+        )
+        queries = tiny_cosine_split.test.queries[:4]
+        thresholds = tiny_cosine_split.test.thresholds[:4]
+        indicators = partitioning.indicator_batch(queries, thresholds)
+        locals_ = [m.predict(queries, thresholds) for m in model.local_models]
+        expected = sum(indicators[:, k] * locals_[k] for k in range(2))
+        np.testing.assert_allclose(model.predict(queries, thresholds), expected, atol=1e-9)
+
+
+class TestIncrementalSelNet:
+    @pytest.fixture()
+    def fitted(self, tiny_cosine_split, fast_selnet_config):
+        estimator = SelNetEstimator(fast_selnet_config).fit(tiny_cosine_split)
+        return estimator, tiny_cosine_split
+
+    def test_rejects_partitioned_model(self, tiny_cosine_split, fast_selnet_config):
+        from dataclasses import replace
+
+        config = replace(fast_selnet_config, num_partitions=2, epochs=2, pretrain_epochs=1)
+        estimator = SelNetEstimator(config).fit(tiny_cosine_split)
+        with pytest.raises(TypeError):
+            IncrementalSelNet(
+                estimator=estimator,
+                data=tiny_cosine_split.dataset.vectors,
+                distance=tiny_cosine_split.distance,
+                train=tiny_cosine_split.train,
+                validation=tiny_cosine_split.validation,
+            )
+
+    def test_small_update_skips_retraining(self, fitted):
+        estimator, split = fitted
+        incremental = IncrementalSelNet(
+            estimator=estimator,
+            data=split.dataset.vectors,
+            distance=split.distance,
+            train=split.train,
+            validation=split.validation,
+            config=IncrementalConfig(mae_drift_threshold=1e9),
+        )
+        stream = generate_update_stream(split.dataset.vectors, num_operations=2, seed=0)
+        reports = incremental.apply_stream(stream)
+        assert len(reports) == 2
+        assert not any(report.retrained for report in reports)
+
+    def test_forced_retraining_path(self, fitted):
+        estimator, split = fitted
+        incremental = IncrementalSelNet(
+            estimator=estimator,
+            data=split.dataset.vectors,
+            distance=split.distance,
+            train=split.train,
+            validation=split.validation,
+            config=IncrementalConfig(mae_drift_threshold=-1.0, max_epochs=2, patience=1),
+        )
+        stream = generate_update_stream(split.dataset.vectors, num_operations=1, seed=1)
+        report = incremental.apply_operation(stream[0])
+        assert report.retrained
+        assert report.fine_tune_epochs >= 1
+        # After fine-tuning the model must still produce finite estimates.
+        estimates = incremental.estimate(split.test.queries[:5], split.test.thresholds[:5])
+        assert np.all(np.isfinite(estimates))
+
+    def test_database_size_tracked(self, fitted):
+        estimator, split = fitted
+        incremental = IncrementalSelNet(
+            estimator=estimator,
+            data=split.dataset.vectors,
+            distance=split.distance,
+            train=split.train,
+            validation=split.validation,
+            config=IncrementalConfig(mae_drift_threshold=1e9),
+        )
+        from repro.data.updates import UpdateOperation
+
+        report = incremental.apply_operation(
+            UpdateOperation(kind="insert", vectors=np.zeros((5, split.dataset.dim)))
+        )
+        assert report.database_size == split.dataset.num_vectors + 5

@@ -1,0 +1,75 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    dataset_names,
+    make_dataset,
+    make_face_like,
+    make_fasttext_like,
+    make_youtube_like,
+)
+
+
+class TestDatasetFactories:
+    def test_names(self):
+        assert set(dataset_names()) == {"face_like", "fasttext_like", "youtube_like"}
+
+    def test_make_dataset_dispatch(self):
+        dataset = make_dataset("face_like", num_vectors=100, dim=8)
+        assert isinstance(dataset, Dataset)
+        assert dataset.num_vectors == 100 and dataset.dim == 8
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            make_dataset("imagenet")
+
+    def test_fasttext_like_not_normalized(self):
+        dataset = make_fasttext_like(num_vectors=200, dim=10)
+        norms = np.linalg.norm(dataset.vectors, axis=1)
+        assert norms.std() > 0.05
+        assert dataset.distances == ("cosine", "euclidean")
+        assert not dataset.metadata["normalized"]
+
+    def test_face_like_normalized(self):
+        dataset = make_face_like(num_vectors=200, dim=10)
+        norms = np.linalg.norm(dataset.vectors, axis=1)
+        np.testing.assert_allclose(norms, np.ones(200), atol=1e-9)
+        assert dataset.distances == ("cosine",)
+
+    def test_youtube_like_normalized_high_dim(self):
+        dataset = make_youtube_like(num_vectors=150, dim=40)
+        norms = np.linalg.norm(dataset.vectors, axis=1)
+        np.testing.assert_allclose(norms, np.ones(150), atol=1e-9)
+        assert dataset.dim == 40
+
+    def test_determinism(self):
+        a = make_face_like(num_vectors=100, dim=8, seed=3)
+        b = make_face_like(num_vectors=100, dim=8, seed=3)
+        np.testing.assert_allclose(a.vectors, b.vectors)
+
+    def test_different_seeds_differ(self):
+        a = make_face_like(num_vectors=100, dim=8, seed=3)
+        b = make_face_like(num_vectors=100, dim=8, seed=4)
+        assert not np.allclose(a.vectors, b.vectors)
+
+    def test_cluster_structure_exists(self):
+        """Vectors should be clustered: nearest-neighbour distances are much
+        smaller than average pairwise distances."""
+        dataset = make_face_like(num_vectors=300, dim=12, num_clusters=15)
+        from repro.distances import pairwise_euclidean
+
+        matrix = pairwise_euclidean(dataset.vectors[:100], dataset.vectors[:100])
+        np.fill_diagonal(matrix, np.inf)
+        nearest = matrix.min(axis=1).mean()
+        average = matrix[np.isfinite(matrix)].mean()
+        assert nearest < 0.5 * average
+
+    def test_finite_values(self):
+        for name in dataset_names():
+            dataset = make_dataset(name, num_vectors=50)
+            assert np.all(np.isfinite(dataset.vectors))

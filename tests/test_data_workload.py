@@ -1,0 +1,230 @@
+"""Tests for the ground-truth oracle, workload generation and update streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    SelectivityOracle,
+    apply_stream,
+    apply_update,
+    build_workload_split,
+    generate_update_stream,
+    generate_workload,
+    geometric_selectivity_targets,
+    make_face_like,
+    relabel_workload,
+    split_workload,
+)
+from repro.data.updates import UpdateOperation
+
+
+class TestSelectivityOracle:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        dataset = make_face_like(num_vectors=300, dim=8, seed=2)
+        return SelectivityOracle(dataset.vectors, "cosine")
+
+    def test_selectivity_counts_by_brute_force(self, oracle):
+        query = oracle.data[0]
+        threshold = 0.2
+        distances = oracle.distances_to(query)
+        assert oracle.selectivity(query, threshold) == int(np.count_nonzero(distances <= threshold))
+
+    def test_selectivity_monotone_in_threshold(self, oracle):
+        query = oracle.data[5]
+        thresholds = np.linspace(0.0, 1.0, 30)
+        counts = oracle.selectivities(query, thresholds)
+        assert np.all(np.diff(counts) >= 0)
+
+    def test_selectivities_matches_scalar_calls(self, oracle):
+        query = oracle.data[3]
+        thresholds = [0.05, 0.2, 0.6]
+        batch = oracle.selectivities(query, thresholds)
+        scalar = [oracle.selectivity(query, t) for t in thresholds]
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_query_from_database_counts_itself(self, oracle):
+        query = oracle.data[7]
+        assert oracle.selectivity(query, 0.0) >= 1
+
+    def test_full_threshold_covers_everything(self, oracle):
+        query = oracle.data[0]
+        assert oracle.selectivity(query, 10.0) == oracle.num_objects
+
+    def test_thresholds_for_selectivities(self, oracle):
+        query = oracle.data[11]
+        targets = [1, 5, 20, 50]
+        thresholds = oracle.thresholds_for_selectivities(query, targets)
+        counts = oracle.selectivities(query, thresholds)
+        # The threshold of the k-th nearest neighbour yields selectivity >= k
+        # (ties can only push the count up).
+        for target, count in zip(targets, counts):
+            assert count >= target
+
+    def test_batch_selectivity_alignment_check(self, oracle):
+        with pytest.raises(ValueError):
+            oracle.batch_selectivity(oracle.data[:3], np.array([0.1, 0.2]))
+
+    def test_max_threshold_positive(self, oracle):
+        assert oracle.max_threshold() > 0
+
+
+class TestGeometricTargets:
+    def test_range(self):
+        targets = geometric_selectivity_targets(10_000, 40)
+        assert targets[0] == pytest.approx(1.0)
+        assert targets[-1] == pytest.approx(100.0)
+        assert len(targets) == 40
+
+    def test_custom_fraction(self):
+        targets = geometric_selectivity_targets(1000, 10, max_selectivity_fraction=0.5)
+        assert targets[-1] == pytest.approx(500.0)
+
+    def test_monotone_increasing(self):
+        targets = geometric_selectivity_targets(5000, 25)
+        assert np.all(np.diff(targets) > 0)
+
+
+class TestWorkloadGeneration:
+    @pytest.fixture(scope="class")
+    def workload_and_oracle(self):
+        dataset = make_face_like(num_vectors=400, dim=8, seed=3)
+        return generate_workload(
+            dataset, "cosine", num_queries=30, thresholds_per_query=8, seed=1
+        )
+
+    def test_row_count(self, workload_and_oracle):
+        workload, _ = workload_and_oracle
+        assert len(workload) == 30 * 8
+
+    def test_labels_are_exact(self, workload_and_oracle):
+        workload, oracle = workload_and_oracle
+        sample = np.random.default_rng(0).choice(len(workload), size=20, replace=False)
+        recomputed = oracle.batch_selectivity(
+            workload.queries[sample], workload.thresholds[sample]
+        )
+        np.testing.assert_array_equal(recomputed, workload.selectivities[sample].astype(int))
+
+    def test_thresholds_below_t_max(self, workload_and_oracle):
+        workload, _ = workload_and_oracle
+        assert np.all(workload.thresholds <= workload.t_max + 1e-12)
+
+    def test_features_concatenation(self, workload_and_oracle):
+        workload, _ = workload_and_oracle
+        features = workload.features
+        assert features.shape == (len(workload), workload.queries.shape[1] + 1)
+        np.testing.assert_allclose(features[:, -1], workload.thresholds)
+
+    def test_beta_distribution_thresholds(self):
+        dataset = make_face_like(num_vectors=300, dim=8, seed=3)
+        workload, _ = generate_workload(
+            dataset,
+            "cosine",
+            num_queries=10,
+            thresholds_per_query=12,
+            threshold_distribution="beta",
+            seed=5,
+        )
+        assert np.all(workload.thresholds >= 0)
+        assert np.all(workload.thresholds <= workload.t_max)
+
+    def test_invalid_distribution(self):
+        dataset = make_face_like(num_vectors=100, dim=6)
+        with pytest.raises(ValueError):
+            generate_workload(dataset, "cosine", num_queries=5, threshold_distribution="uniform")
+
+    def test_determinism(self):
+        dataset = make_face_like(num_vectors=200, dim=8, seed=3)
+        a, _ = generate_workload(dataset, "cosine", num_queries=10, thresholds_per_query=5, seed=7)
+        b, _ = generate_workload(dataset, "cosine", num_queries=10, thresholds_per_query=5, seed=7)
+        np.testing.assert_allclose(a.thresholds, b.thresholds)
+        np.testing.assert_allclose(a.selectivities, b.selectivities)
+
+
+class TestWorkloadSplit:
+    def test_split_by_query_no_leakage(self, tiny_cosine_split):
+        train_ids = set(np.unique(tiny_cosine_split.train.query_ids).tolist())
+        valid_ids = set(np.unique(tiny_cosine_split.validation.query_ids).tolist())
+        test_ids = set(np.unique(tiny_cosine_split.test.query_ids).tolist())
+        assert not (train_ids & valid_ids)
+        assert not (train_ids & test_ids)
+        assert not (valid_ids & test_ids)
+
+    def test_split_covers_all_rows(self, tiny_cosine_split):
+        total = (
+            len(tiny_cosine_split.train)
+            + len(tiny_cosine_split.validation)
+            + len(tiny_cosine_split.test)
+        )
+        assert total == 40 * 10
+
+    def test_split_proportions(self, tiny_cosine_split):
+        n_train = tiny_cosine_split.train.unique_query_count()
+        n_valid = tiny_cosine_split.validation.unique_query_count()
+        n_test = tiny_cosine_split.test.unique_query_count()
+        assert n_train >= n_valid and n_train >= n_test
+        assert n_valid >= 1 and n_test >= 1
+
+    def test_invalid_fractions(self, tiny_cosine_split):
+        with pytest.raises(ValueError):
+            split_workload(tiny_cosine_split.train, train_fraction=0.9, validation_fraction=0.2)
+
+    def test_build_workload_split_shares_t_max(self, tiny_cosine_split):
+        assert tiny_cosine_split.train.t_max == tiny_cosine_split.test.t_max
+
+    def test_relabel_workload(self, tiny_cosine_split):
+        oracle = tiny_cosine_split.oracle
+        relabelled = relabel_workload(tiny_cosine_split.validation, oracle)
+        np.testing.assert_allclose(relabelled.selectivities, tiny_cosine_split.validation.selectivities)
+
+
+class TestUpdateStream:
+    def test_insert_grows_database(self, rng):
+        data = rng.normal(size=(50, 4))
+        operation = UpdateOperation(kind="insert", vectors=rng.normal(size=(5, 4)))
+        assert len(apply_update(data, operation)) == 55
+
+    def test_delete_shrinks_database(self, rng):
+        data = rng.normal(size=(50, 4))
+        operation = UpdateOperation(kind="delete", indices=np.array([0, 1, 2]))
+        assert len(apply_update(data, operation)) == 47
+
+    def test_operation_validation(self):
+        with pytest.raises(ValueError):
+            UpdateOperation(kind="upsert")
+        with pytest.raises(ValueError):
+            UpdateOperation(kind="insert")
+        with pytest.raises(ValueError):
+            UpdateOperation(kind="delete")
+
+    def test_generate_stream_length(self, rng):
+        data = rng.normal(size=(100, 4))
+        stream = generate_update_stream(data, num_operations=20, records_per_operation=3, seed=1)
+        assert len(stream) == 20
+
+    def test_apply_stream_consistent_sizes(self, rng):
+        data = rng.normal(size=(100, 4))
+        stream = generate_update_stream(data, num_operations=15, records_per_operation=4, seed=2)
+        final, states = apply_stream(data, stream)
+        assert len(states) == 15
+        assert len(final) == len(states[-1])
+        expected = 100
+        for operation, state in zip(stream, states):
+            expected += 4 if operation.kind == "insert" else -4
+            assert len(state) == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_property_database_never_empty(self, seed):
+        """Property: the generator never deletes the database to nothing."""
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(30, 3))
+        stream = generate_update_stream(
+            data, num_operations=30, records_per_operation=5, insert_probability=0.3, seed=seed
+        )
+        final, _ = apply_stream(data, stream)
+        assert len(final) > 0
