@@ -5,9 +5,11 @@ batch of insertions or deletions the model's validation error is re-checked;
 only if it has drifted beyond a threshold are the labels refreshed and the
 current model fine-tuned (never retrained from scratch).
 
-This example fits SelNet-ct, streams insert/delete operations into the
-database, and prints the evolution of the test error along with when the
-estimator decided to fine-tune itself.
+This example fits the registered ``selnet-inc`` estimator — the one whose
+spec advertises ``supports_updates`` (every other estimator raises
+``UpdateNotSupportedError`` from ``update()``) — streams insert/delete
+operations into the database, and prints the evolution of the test error
+along with when the estimator decided to fine-tune itself.
 
 Run with::
 
@@ -16,16 +18,7 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import (
-    IncrementalConfig,
-    IncrementalSelNet,
-    SelNetConfig,
-    SelNetEstimator,
-    build_workload_split,
-    make_dataset,
-)
+from repro import build_workload_split, create_estimator, make_dataset
 from repro.data import SelectivityOracle, apply_update, generate_update_stream, relabel_workload
 from repro.eval import compute_error_metrics
 
@@ -40,18 +33,14 @@ def main() -> None:
         max_selectivity_fraction=0.25,
         seed=4,
     )
-    estimator = SelNetEstimator(
-        SelNetConfig(num_control_points=12, epochs=30, num_partitions=1, seed=0)
+    incremental = create_estimator(
+        "selnet-inc",
+        num_control_points=12,
+        epochs=30,
+        seed=0,
+        update_mae_drift_threshold=3.0,
+        update_max_epochs=10,
     ).fit(split)
-
-    incremental = IncrementalSelNet(
-        estimator=estimator,
-        data=dataset.vectors,
-        distance=split.distance,
-        train=split.train,
-        validation=split.validation,
-        config=IncrementalConfig(mae_drift_threshold=3.0, max_epochs=10),
-    )
 
     operations = generate_update_stream(
         dataset.vectors, num_operations=12, records_per_operation=25, seed=1
@@ -60,7 +49,10 @@ def main() -> None:
     current_data = dataset.vectors
     test = split.test
     for step, operation in enumerate(operations, start=1):
-        report = incremental.apply_operation(operation)
+        if operation.kind == "insert":
+            report = incremental.update(inserts=operation.vectors)[0]
+        else:
+            report = incremental.update(deletes=operation.indices)[0]
 
         # Re-evaluate on the test workload against the *updated* database.
         current_data = apply_update(current_data, operation)

@@ -6,16 +6,18 @@ Run with::
 
 The script builds a small clustered embedding dataset, generates a labelled
 workload (query vector, distance threshold, exact selectivity), trains the
-SelNet estimator and reports its accuracy against the exact ground truth,
-alongside a classical KDE baseline.
+SelNet estimator through the registry API (``create_estimator``) and reports
+its accuracy against the exact ground truth, alongside a classical KDE
+baseline — then saves the fitted model and reloads it bit-for-bit.
 """
 
 from __future__ import annotations
 
+import tempfile
+
 import numpy as np
 
-from repro import SelNetConfig, SelNetEstimator, build_workload_split, make_dataset
-from repro.baselines import KDEEstimator
+from repro import build_workload_split, create_estimator, load_estimator, make_dataset
 from repro.eval import compute_error_metrics
 
 
@@ -40,20 +42,30 @@ def main() -> None:
         f"{len(split.test)} test rows, t_max = {split.t_max:.3f}"
     )
 
-    # 3. Train SelNet (single-partition variant for speed).
-    config = SelNetConfig(num_control_points=16, epochs=40, num_partitions=1, seed=0)
-    selnet = SelNetEstimator(config).fit(split)
+    # 3. Train SelNet via the registry (single-partition variant for speed).
+    #    Any registered estimator works here — see repro.available_estimators().
+    selnet = create_estimator("selnet-ct", num_control_points=16, epochs=40, seed=0).fit(split)
 
     # 4. Compare against the exact selectivities of the held-out test queries.
     estimates = selnet.estimate(split.test.queries, split.test.thresholds)
     metrics = compute_error_metrics(estimates, split.test.selectivities)
     print(f"SelNet-ct   : {metrics}")
 
-    kde = KDEEstimator(num_samples=200).fit(split)
+    kde = create_estimator("kde", num_samples=200).fit(split)
     kde_metrics = compute_error_metrics(
         kde.estimate(split.test.queries, split.test.thresholds), split.test.selectivities
     )
     print(f"KDE baseline: {kde_metrics}")
+
+    # 4b. Persist the fitted estimator and reload it: estimates round-trip
+    #     bit-for-bit across processes.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = selnet.save(f"{tmp}/selnet-ct")
+        clone = load_estimator(path)
+        assert np.array_equal(
+            estimates, clone.estimate(split.test.queries, split.test.thresholds)
+        )
+        print(f"save/load   : round-trip at {path} is bit-exact")
 
     # 5. Consistency: the estimated selectivity never decreases as the
     #    threshold grows (the paper's key guarantee).

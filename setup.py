@@ -1,4 +1,33 @@
-"""Setup shim for environments where PEP 660 editable installs are unavailable."""
-from setuptools import setup
+"""Packaging for the SelNet reproduction (src layout, console script)."""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
+
+setup(
+    name="selnet-repro",
+    version=VERSION,
+    description=(
+        "Reproduction of 'Consistent and Flexible Selectivity Estimation for "
+        "High-dimensional Data' (Wang et al., SIGMOD 2021) with a registry, "
+        "persistence and serving API"
+    ),
+    long_description=(Path(__file__).parent / "README.md").read_text()
+    if (Path(__file__).parent / "README.md").is_file()
+    else "",
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Database",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

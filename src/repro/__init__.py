@@ -3,21 +3,37 @@
 This package reproduces "Consistent and Flexible Selectivity Estimation for
 High-dimensional Data" (Wang et al., SIGMOD 2021): the SelNet estimator, all
 of its substrates (numpy autodiff, neural-network layers, cover-tree
-partitioning, synthetic workloads) and the nine comparison baselines.
+partitioning, synthetic workloads) and the nine comparison baselines — behind
+a unified registry / persistence / serving API.
 
 Quick start::
 
-    from repro import make_dataset, build_workload_split, SelNetEstimator, SelNetConfig
+    from repro import available_estimators, create_estimator
+    from repro import make_dataset, build_workload_split
 
     dataset = make_dataset("face_like", num_vectors=2000)
     split = build_workload_split(dataset, "cosine", num_queries=60)
-    estimator = SelNetEstimator(SelNetConfig(epochs=30)).fit(split)
+
+    print(available_estimators())       # ('selnet', ..., 'kde', 'lsh', ...)
+    estimator = create_estimator("selnet", epochs=30).fit(split)
     estimate = estimator.estimate(split.test.queries, split.test.thresholds)
+
+    estimator.save("models/selnet-faces")            # persist the fitted model
+    clone = load_estimator("models/selnet-faces")    # bit-exact round-trip
+
+Serving (micro-batching + LRU selectivity-curve cache)::
+
+    from repro.serving import EstimationService
+
+    service = EstimationService("models/")
+    service.estimate("selnet-faces", queries, thresholds)
+    print(service.stats()["cache"]["hit_rate"])
 """
 
 from .core import (
     IncrementalConfig,
     IncrementalSelNet,
+    IncrementalSelNetEstimator,
     PartitionedSelNet,
     PiecewiseLinearCurve,
     SelNetConfig,
@@ -34,18 +50,38 @@ from .data import (
     make_dataset,
 )
 from .distances import get_distance
-from .estimator import SelectivityEstimator
+from .estimator import SelectivityEstimator, UpdateNotSupportedError
+from .persistence import load_estimator, read_metadata, save_estimator
+from .registry import (
+    EstimatorSpec,
+    available_estimators,
+    create_estimator,
+    get_estimator_spec,
+    iter_estimator_specs,
+    register_estimator,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SelectivityEstimator",
+    "UpdateNotSupportedError",
+    "EstimatorSpec",
+    "register_estimator",
+    "create_estimator",
+    "available_estimators",
+    "iter_estimator_specs",
+    "get_estimator_spec",
+    "save_estimator",
+    "load_estimator",
+    "read_metadata",
     "SelNetConfig",
     "IncrementalConfig",
     "SelNetEstimator",
     "SelNetModel",
     "PartitionedSelNet",
     "IncrementalSelNet",
+    "IncrementalSelNetEstimator",
     "PiecewiseLinearCurve",
     "Dataset",
     "make_dataset",

@@ -96,6 +96,7 @@ class DeepRegressionEstimator(SelectivityEstimator):
     def fit(self, split: WorkloadSplit) -> "DeepRegressionEstimator":
         rng = np.random.default_rng(self.seed)
         query_dim = split.train.queries.shape[1]
+        self._input_dim = query_dim
         core = self.build_core(query_dim + self.threshold_embedding_dim, rng)
         self.model = QueryThresholdRegressor(core, ThresholdEmbedding(self.threshold_embedding_dim, rng=rng))
 

@@ -37,6 +37,7 @@ import numpy as np
 from ..autodiff import Tensor, concat, cumsum, stack
 from ..data.workload import WorkloadSplit
 from ..estimator import SelectivityEstimator
+from ..registry import register_estimator
 from ..nn import Adam, DataLoader, Module, log_huber_loss
 
 
@@ -214,6 +215,14 @@ class DeepLatticeNetwork(Module):
         return ensemble * scale + self.bias
 
 
+@register_estimator(
+    "dln",
+    display_name="DLN",
+    description="Deep lattice network, monotone in the threshold by construction",
+    consistent=True,
+    default_params={"num_lattices": 6},
+    scale_params=lambda scale, num_vectors: {"epochs": scale.baseline_epochs},
+)
 class DLNEstimator(SelectivityEstimator):
     """Deep-lattice-network selectivity estimator (consistency guaranteed)."""
 
@@ -244,6 +253,7 @@ class DLNEstimator(SelectivityEstimator):
     def fit(self, split: WorkloadSplit) -> "DLNEstimator":
         rng = np.random.default_rng(self.seed)
         queries = split.train.queries
+        self._input_dim = queries.shape[1]
         feature_ranges = [
             (float(queries[:, dim].min()), float(queries[:, dim].max()))
             for dim in range(queries.shape[1])

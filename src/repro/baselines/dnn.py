@@ -12,9 +12,16 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..nn import Module, feed_forward
+from ..registry import register_estimator
 from .base import DeepRegressionEstimator
 
 
+@register_estimator(
+    "dnn",
+    display_name="DNN",
+    description="Plain feed-forward regression over [x; embed(t)]",
+    scale_params=lambda scale, num_vectors: {"epochs": scale.baseline_epochs},
+)
 class DNNEstimator(DeepRegressionEstimator):
     """Unconstrained deep regression (no consistency guarantee)."""
 

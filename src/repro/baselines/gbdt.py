@@ -29,6 +29,7 @@ import numpy as np
 
 from ..data.workload import WorkloadSplit
 from ..estimator import SelectivityEstimator
+from ..registry import register_estimator
 
 
 # ---------------------------------------------------------------------- #
@@ -324,6 +325,7 @@ class LightGBMEstimator(SelectivityEstimator):
         self.model: Optional[GradientBoostingRegressor] = None
 
     def fit(self, split: WorkloadSplit) -> "LightGBMEstimator":
+        self._input_dim = split.train.queries.shape[1]
         features = np.concatenate([split.train.queries, split.train.thresholds[:, None]], axis=1)
         targets = np.log1p(split.train.selectivities)
         threshold_column = features.shape[1] - 1
@@ -346,3 +348,28 @@ class LightGBMEstimator(SelectivityEstimator):
         thresholds = np.asarray(thresholds, dtype=np.float64)
         features = np.concatenate([queries, thresholds[:, None]], axis=1)
         return np.clip(np.expm1(self.model.predict(features)), 0.0, None)
+
+
+def _gbdt_scale_params(scale, num_vectors):
+    return {"num_trees": scale.gbdt_trees}
+
+
+register_estimator(
+    "lightgbm",
+    factory=LightGBMEstimator,
+    cls=LightGBMEstimator,
+    display_name="LightGBM",
+    description="Histogram gradient-boosted trees over [x, t] (no constraint)",
+    default_params={"monotone": False},
+    scale_params=_gbdt_scale_params,
+)
+register_estimator(
+    "lightgbm-m",
+    factory=LightGBMEstimator,
+    cls=LightGBMEstimator,
+    display_name="LightGBM-m",
+    description="Gradient-boosted trees with a monotone constraint on the threshold",
+    consistent=True,
+    default_params={"monotone": True},
+    scale_params=_gbdt_scale_params,
+)

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..data.workload import WorkloadSplit
 from ..estimator import SelectivityEstimator
+from ..registry import register_estimator
 
 
 def pool_adjacent_violators(values: np.ndarray, weights: Optional[np.ndarray] = None) -> np.ndarray:
@@ -78,6 +79,7 @@ class IsotonicCalibratedEstimator(SelectivityEstimator):
 
     def fit(self, split: WorkloadSplit) -> "IsotonicCalibratedEstimator":
         self.base.fit(split)
+        self._input_dim = self.base.expected_input_dim
         return self
 
     def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
@@ -99,3 +101,20 @@ class IsotonicCalibratedEstimator(SelectivityEstimator):
             ordered = indices[order]
             out[ordered] = pool_adjacent_violators(raw[ordered])
         return out
+
+
+def _isotonic_dnn_factory(**params) -> IsotonicCalibratedEstimator:
+    from .dnn import DNNEstimator
+
+    return IsotonicCalibratedEstimator(DNNEstimator(**params))
+
+
+register_estimator(
+    "isotonic-dnn",
+    factory=_isotonic_dnn_factory,
+    cls=IsotonicCalibratedEstimator,
+    display_name="Isotonic(DNN)",
+    description="DNN baseline repaired to consistency by per-query PAV projection",
+    consistent=True,
+    scale_params=lambda scale, num_vectors: {"epochs": scale.baseline_epochs},
+)

@@ -26,6 +26,7 @@ from scipy import special
 from ..data.workload import WorkloadSplit
 from ..distances import DistanceFunction, get_distance
 from ..estimator import SelectivityEstimator
+from ..registry import register_estimator
 
 
 def _adaptive_bandwidth(distances: np.ndarray, tail_fraction: float = 0.1) -> float:
@@ -47,6 +48,13 @@ def _adaptive_bandwidth(distances: np.ndarray, tail_fraction: float = 0.1) -> fl
     return float(max(1.06 * spread * n ** (-1.0 / 5.0), 1e-6))
 
 
+@register_estimator(
+    "kde",
+    display_name="KDE",
+    description="Adaptive kernel density over query-to-sample distances (Mattig et al.)",
+    consistent=True,
+    scale_params=lambda scale, num_vectors: {"num_samples": scale.sample_budget(num_vectors)},
+)
 class KDEEstimator(SelectivityEstimator):
     """Adaptive kernel density estimation over query-to-sample distances.
 
@@ -83,6 +91,7 @@ class KDEEstimator(SelectivityEstimator):
         data = np.asarray(split.dataset.vectors, dtype=np.float64)
         self._distance = split.distance
         self._num_objects = len(data)
+        self._input_dim = data.shape[1]
         rng = np.random.default_rng(self.seed)
         size = min(self.num_samples, len(data))
         index = rng.choice(len(data), size=size, replace=False)

@@ -26,8 +26,17 @@ import numpy as np
 from ..data.workload import WorkloadSplit
 from ..distances import cosine_distance, normalize_rows
 from ..estimator import SelectivityEstimator
+from ..registry import register_estimator
 
 
+@register_estimator(
+    "lsh",
+    display_name="LSH",
+    description="SimHash-stratified importance sampling (Wu et al.); cosine only",
+    consistent=True,
+    distances=("cosine",),
+    scale_params=lambda scale, num_vectors: {"num_samples": scale.sample_budget(num_vectors)},
+)
 class LSHEstimator(SelectivityEstimator):
     """SimHash-stratified importance sampling for cosine selectivity.
 
@@ -65,6 +74,7 @@ class LSHEstimator(SelectivityEstimator):
         self._signatures = signatures
         self._hyperplanes = hyperplanes
         self._rng = rng
+        self._input_dim = data.shape[1]
         return self
 
     # ------------------------------------------------------------------ #

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..autodiff import Tensor, softmax, stack, where
 from ..nn import Module, Sequential, feed_forward
+from ..registry import register_estimator
 from .base import DeepRegressionEstimator
 
 
@@ -55,6 +56,13 @@ class MixtureOfExperts(Module):
         return (weights * expert_outputs).sum(axis=1)
 
 
+@register_estimator(
+    "moe",
+    display_name="MoE",
+    description="Sparsely-gated mixture-of-experts regressor",
+    default_params={"num_experts": 6, "top_k": 2},
+    scale_params=lambda scale, num_vectors: {"epochs": scale.baseline_epochs},
+)
 class MoEEstimator(DeepRegressionEstimator):
     """Mixture-of-Experts selectivity regressor (no consistency guarantee)."""
 

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..autodiff import Tensor, softmax, stack
 from ..nn import Module, Sequential, feed_forward
+from ..registry import register_estimator
 from .base import DeepRegressionEstimator
 
 
@@ -82,6 +83,13 @@ class RecursiveModelIndex(Module):
         return self.stage(x, hard=not self.training)
 
 
+@register_estimator(
+    "rmi",
+    display_name="RMI",
+    description="Recursive-model-index regressor (router + leaf experts)",
+    default_params={"num_leaf_models": 6},
+    scale_params=lambda scale, num_vectors: {"epochs": scale.baseline_epochs},
+)
 class RMIEstimator(DeepRegressionEstimator):
     """Recursive-model-index selectivity regressor (no consistency guarantee)."""
 

@@ -26,6 +26,7 @@ import numpy as np
 from ..autodiff import Tensor
 from ..data.workload import WorkloadSplit
 from ..estimator import SelectivityEstimator
+from ..registry import register_estimator
 from ..nn import Adam, DataLoader, ELUPlusOne, Module, Sequential, feed_forward, log_huber_loss
 
 
@@ -99,6 +100,13 @@ class UMNNModel(Module):
         return integral + offset
 
 
+@register_estimator(
+    "umnn",
+    display_name="UMNN",
+    description="Unconstrained monotonic NN via Clenshaw-Curtis quadrature",
+    consistent=True,
+    scale_params=lambda scale, num_vectors: {"epochs": scale.baseline_epochs},
+)
 class UMNNEstimator(SelectivityEstimator):
     """Clenshaw–Curtis monotone network estimator (consistency guaranteed)."""
 
@@ -126,6 +134,7 @@ class UMNNEstimator(SelectivityEstimator):
 
     def fit(self, split: WorkloadSplit) -> "UMNNEstimator":
         rng = np.random.default_rng(self.seed)
+        self._input_dim = split.train.queries.shape[1]
         self.model = UMNNModel(
             query_dim=split.train.queries.shape[1],
             hidden_sizes=self.hidden_sizes,

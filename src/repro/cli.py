@@ -1,20 +1,31 @@
-"""Command-line interface for the experiment reproductions.
+"""Command-line interface: paper reproductions plus the estimator lifecycle.
 
 Usage::
 
-    python -m repro.cli list
-    python -m repro.cli table 3                 # Table 3 (face-cos accuracy)
-    python -m repro.cli table 6 --scale tiny    # ablation at the tiny scale
-    python -m repro.cli figure 4 --output fig4.txt
+    repro list                                  # available experiments
+    repro table 3                               # Table 3 (face-cos accuracy)
+    repro table 6 --scale tiny                  # ablation at the tiny scale
+    repro figure 4 --output fig4.txt
 
-Each command runs the corresponding function from :mod:`repro.experiments`
-and prints (and optionally saves) the reproduced table / figure text.
+    repro models                                # the estimator registry
+    repro train selnet --setting face-cos --scale tiny --out models/selnet-faces
+    repro estimate models/selnet-faces          # evaluate a saved estimator
+    repro serve-bench models/selnet-faces --requests 2000
+
+(``repro`` is the console script installed by ``setup.py``; ``python -m
+repro`` and ``python -m repro.cli`` are equivalent.)  Each experiment command
+runs the corresponding function from :mod:`repro.experiments`; the lifecycle
+commands are thin consumers of :mod:`repro.registry`,
+:mod:`repro.persistence` and :mod:`repro.serving`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from .experiments import (
@@ -58,7 +69,8 @@ FIGURE_RUNNERS: Dict[int, tuple] = {
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro.cli", description="Reproduce the paper's tables and figures."
+        prog="repro",
+        description="SelNet reproduction: paper experiments, training, persistence, serving.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -73,6 +85,50 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("number", type=int, choices=sorted(FIGURE_RUNNERS))
     figure_parser.add_argument("--scale", default="small", help="tiny, small or medium")
     figure_parser.add_argument("--output", default=None, help="also write the figure text to this file")
+
+    models_parser = subparsers.add_parser(
+        "models", help="list registered estimators and their capabilities"
+    )
+    models_parser.add_argument(
+        "--dir", default=None, help="also list the saved models in this directory"
+    )
+    models_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    train_parser = subparsers.add_parser(
+        "train", help="fit a registered estimator on a paper setting and save it"
+    )
+    train_parser.add_argument("estimator", help="registry name (see `repro models`)")
+    train_parser.add_argument("--setting", default="face-cos", help="fasttext-cos, fasttext-l2, face-cos or youtube-cos")
+    train_parser.add_argument("--scale", default="tiny", help="tiny, small or medium")
+    train_parser.add_argument("--seed", type=int, default=0)
+    train_parser.add_argument("--out", required=True, help="directory to save the fitted estimator to")
+    train_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="hyper-parameter override (repeatable), e.g. --param epochs=30",
+    )
+
+    estimate_parser = subparsers.add_parser(
+        "estimate", help="load a saved estimator and evaluate it on its test workload"
+    )
+    estimate_parser.add_argument("model", help="path to a saved estimator directory")
+    estimate_parser.add_argument("--setting", default=None, help="override the recorded setting")
+    estimate_parser.add_argument("--scale", default=None, help="override the recorded scale")
+    estimate_parser.add_argument("--seed", type=int, default=None, help="override the recorded seed")
+
+    bench_parser = subparsers.add_parser(
+        "serve-bench", help="benchmark the serving layer against a saved estimator"
+    )
+    bench_parser.add_argument("model", help="path to a saved estimator directory")
+    bench_parser.add_argument("--requests", type=int, default=2000)
+    bench_parser.add_argument("--arrival-batch", type=int, default=32)
+    bench_parser.add_argument("--cache-size", type=int, default=256)
+    bench_parser.add_argument("--curve-points", type=int, default=64)
+    bench_parser.add_argument("--max-batch-size", type=int, default=256)
+    bench_parser.add_argument("--no-cache", action="store_true", help="bypass the curve cache")
+    bench_parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -85,6 +141,190 @@ def _run(runner: Callable, scale_name: str, output: Optional[str]) -> str:
         with open(output, "w") as handle:
             handle.write(text + "\n")
     return text
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle commands
+# ---------------------------------------------------------------------- #
+def _parse_param(raw: str):
+    key, sep, value = raw.partition("=")
+    if not sep:
+        raise SystemExit(f"--param expects KEY=VALUE, got {raw!r}")
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def _cmd_models(args) -> int:
+    from .registry import iter_estimator_specs
+
+    specs = iter_estimator_specs()
+    if args.json:
+        payload = {"registry": [spec.describe() for spec in specs]}
+        if args.dir:
+            from .serving import EstimationService
+
+            payload["saved_models"] = EstimationService(args.dir).describe_models()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    header = f"{'name':<14} {'display':<14} {'consistent':<11} {'updates':<8} {'distances':<18} description"
+    print(header)
+    print("-" * len(header))
+    for spec in specs:
+        print(
+            f"{spec.name:<14} {spec.display_name:<14} "
+            f"{'yes' if spec.guarantees_consistency else 'no':<11} "
+            f"{'yes' if spec.supports_updates else 'no':<8} "
+            f"{','.join(spec.supported_distances):<18} {spec.description}"
+        )
+    if args.dir:
+        from .serving import EstimationService
+
+        described = EstimationService(args.dir).describe_models()
+        print(f"\nsaved models in {args.dir}:")
+        if not described:
+            print("  (none)")
+        for name, metadata in described.items():
+            trained_on = metadata.get("metadata", {})
+            extra = ""
+            if trained_on:
+                extra = (
+                    f"  [setting={trained_on.get('setting', '?')}"
+                    f" scale={trained_on.get('scale', '?')}"
+                    f" seed={trained_on.get('seed', '?')}]"
+                )
+            print(f"  {name:<20} {metadata.get('name', '?'):<14} {metadata.get('class', '')}{extra}")
+    return 0
+
+
+def _build_split_for(setting: str, scale_name: str, seed: int):
+    from .eval.harness import build_setting_split
+
+    scale = get_scale(scale_name)
+    return scale, build_setting_split(setting, scale, seed=seed)
+
+
+def _metrics_line(estimator, workload, label: str) -> str:
+    from .eval.metrics import compute_error_metrics
+
+    estimates = estimator.estimate(workload.queries, workload.thresholds)
+    metrics = compute_error_metrics(estimates, workload.selectivities)
+    return (
+        f"  {label:<11} mse {metrics.mse:>12.2f}   mae {metrics.mae:>10.2f}   "
+        f"mape {metrics.mape:>8.3f}   ({len(workload)} rows)"
+    )
+
+
+def _cmd_train(args) -> int:
+    from .registry import create_estimator, get_estimator_spec
+
+    try:
+        spec = get_estimator_spec(args.estimator)
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}")
+    scale, split = _build_split_for(args.setting, args.scale, args.seed)
+    if not spec.supports_distance(split.distance.name):
+        raise SystemExit(
+            f"{spec.name} does not support the {split.distance.name} distance of {args.setting}"
+        )
+    params = spec.params_for_scale(scale, split.dataset.num_vectors)
+    params["seed"] = args.seed
+    for raw in args.param:
+        key, value = _parse_param(raw)
+        params[key] = value
+
+    estimator = create_estimator(spec.name, **params)
+    print(f"training {spec.display_name} on {args.setting} [{scale.name} scale]...")
+    start = time.perf_counter()
+    estimator.fit(split)
+    fit_seconds = time.perf_counter() - start
+    print(f"fitted in {fit_seconds:.1f} s")
+    print(_metrics_line(estimator, split.validation, "validation:"))
+    print(_metrics_line(estimator, split.test, "test:"))
+
+    estimator.save(
+        args.out,
+        metadata={
+            "estimator": spec.name,
+            "setting": args.setting,
+            "scale": scale.name,
+            "seed": args.seed,
+            "fit_seconds": fit_seconds,
+        },
+    )
+    print(f"saved to {args.out}")
+    return 0
+
+
+def _recorded_training(model_path: str) -> Dict:
+    from .persistence import read_metadata
+
+    try:
+        return read_metadata(model_path).get("metadata", {})
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(f"error: {error}")
+
+
+def _cmd_estimate(args) -> int:
+    from .estimator import SelectivityEstimator
+
+    recorded = _recorded_training(args.model)
+    setting = args.setting or recorded.get("setting")
+    scale_name = args.scale or recorded.get("scale")
+    seed = args.seed if args.seed is not None else recorded.get("seed", 0)
+    if setting is None or scale_name is None:
+        raise SystemExit(
+            f"{args.model} does not record its training setting/scale; "
+            "pass --setting and --scale explicitly"
+        )
+
+    estimator = SelectivityEstimator.load(args.model)
+    _, split = _build_split_for(setting, scale_name, seed)
+    print(
+        f"{estimator.name} on {setting} [{scale_name} scale, seed {seed}] "
+        f"(consistent: {'yes' if estimator.guarantees_consistency else 'no'}, "
+        f"updates: {'yes' if estimator.supports_updates else 'no'})"
+    )
+    print(_metrics_line(estimator, split.validation, "validation:"))
+    print(_metrics_line(estimator, split.test, "test:"))
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from .serving import EstimationService, run_serving_benchmark
+
+    model_path = Path(args.model)
+    recorded = _recorded_training(model_path)
+    setting = recorded.get("setting")
+    scale_name = recorded.get("scale")
+    seed = recorded.get("seed", 0)
+    if setting is None or scale_name is None:
+        raise SystemExit(
+            f"{args.model} does not record its training setting/scale, cannot "
+            "regenerate a request workload"
+        )
+    _, split = _build_split_for(setting, scale_name, seed)
+
+    service = EstimationService(
+        model_path.parent,
+        cache_capacity=args.cache_size,
+        curve_resolution=args.curve_points,
+        max_batch_size=args.max_batch_size,
+    )
+    report = run_serving_benchmark(
+        service,
+        model_path.name,
+        split.test.queries,
+        split.test.thresholds,
+        num_requests=args.requests,
+        arrival_batch=args.arrival_batch,
+        use_cache=not args.no_cache,
+        seed=args.seed,
+    )
+    print(report.text)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -110,6 +350,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _, runner = FIGURE_RUNNERS[args.number]
         _run(runner, args.scale, args.output)
         return 0
+
+    if args.command == "models":
+        return _cmd_models(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2

@@ -2,7 +2,7 @@
 
 from .config import IncrementalConfig, SelNetConfig
 from .control_points import ControlPointHead, PGenerator, TauGenerator
-from .incremental import IncrementalSelNet, UpdateStepReport
+from .incremental import IncrementalSelNet, IncrementalSelNetEstimator, UpdateStepReport
 from .partitioned import PartitionedSelNet
 from .piecewise import (
     PiecewiseLinearCurve,
@@ -37,5 +37,6 @@ __all__ = [
     "train_selnet_model",
     "train_partitioned_selnet",
     "IncrementalSelNet",
+    "IncrementalSelNetEstimator",
     "UpdateStepReport",
 ]

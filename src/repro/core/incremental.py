@@ -21,12 +21,14 @@ import numpy as np
 from ..autodiff import Tensor
 from ..data.ground_truth import SelectivityOracle
 from ..data.updates import UpdateOperation, apply_update
-from ..data.workload import Workload, relabel_workload
+from ..data.workload import Workload, WorkloadSplit, relabel_workload
 from ..distances import DistanceFunction
+from ..estimator import SelectivityEstimator
 from ..nn import Adam, DataLoader, log_huber_loss
+from ..registry import register_estimator
 from .config import IncrementalConfig, SelNetConfig
 from .selnet import SelNetModel
-from .trainer import SelNetEstimator
+from .trainer import SelNetEstimator, _selnet_scale_params, coerce_selnet_params
 
 
 @dataclass
@@ -163,6 +165,116 @@ class IncrementalSelNet:
         """Apply a whole update stream, returning one report per operation."""
         return [self.apply_operation(operation) for operation in operations]
 
+    def update(
+        self,
+        inserts: Optional[np.ndarray] = None,
+        deletes: Optional[np.ndarray] = None,
+    ) -> List[UpdateStepReport]:
+        """The estimator-API update protocol: one insert and/or delete batch.
+
+        ``inserts`` is a ``(n, dim)`` array of new vectors; ``deletes`` holds
+        row indices into the current database.  Deletes are applied first so
+        the indices are interpreted against the pre-insert state.
+        """
+        operations: List[UpdateOperation] = []
+        if deletes is not None:
+            indices = np.atleast_1d(np.asarray(deletes, dtype=np.int64))
+            operations.append(UpdateOperation(kind="delete", indices=np.sort(indices)))
+        if inserts is not None:
+            vectors = np.atleast_2d(np.asarray(inserts, dtype=np.float64))
+            operations.append(UpdateOperation(kind="insert", vectors=vectors))
+        if not operations:
+            raise ValueError("update() needs inserts, deletes or both")
+        return self.apply_stream(operations)
+
     def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
         """Delegate estimation to the wrapped (possibly fine-tuned) model."""
         return self.estimator.estimate(queries, thresholds)
+
+
+# ---------------------------------------------------------------------- #
+# Registry front-end: SelNet with first-class update support
+# ---------------------------------------------------------------------- #
+@register_estimator(
+    "selnet-inc",
+    display_name="SelNet-inc",
+    description="SelNet-ct with incremental maintenance under inserts/deletes (Sec. 5.4)",
+    consistent=True,
+    supports_updates=True,
+    scale_params=lambda scale, num_vectors: {
+        **_selnet_scale_params(scale, num_vectors),
+        "num_partitions": 1,
+    },
+)
+class IncrementalSelNetEstimator(SelectivityEstimator):
+    """SelNet-ct wrapped with the Section 5.4 incremental-learning procedure.
+
+    The only registered estimator with ``supports_updates = True``: after
+    :meth:`fit`, :meth:`update` applies insert/delete batches, re-checks the
+    validation error against the updated database and fine-tunes the current
+    model only when accuracy has drifted beyond the configured threshold.
+
+    Constructor parameters are flat :class:`SelNetConfig` fields
+    (``num_partitions`` is forced to 1 — the paper describes the update
+    procedure for the non-partitioned model) plus incremental-learning knobs
+    prefixed with ``update_`` (e.g. ``update_mae_drift_threshold``,
+    ``update_max_epochs``) mapping to :class:`IncrementalConfig`.
+    """
+
+    name = "SelNet-inc"
+    guarantees_consistency = True
+    supports_updates = True
+
+    def __init__(self, **params) -> None:
+        params = dict(params)
+        incremental_kwargs = {
+            key[len("update_"):]: params.pop(key)
+            for key in list(params)
+            if key.startswith("update_")
+        }
+        params["num_partitions"] = 1
+        self.config = SelNetConfig(**coerce_selnet_params(params))
+        self.incremental_config = IncrementalConfig(**incremental_kwargs)
+        self.state: Optional[IncrementalSelNet] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, split: WorkloadSplit) -> "IncrementalSelNetEstimator":
+        estimator = SelNetEstimator(self.config, name=self.name).fit(split)
+        self.state = IncrementalSelNet(
+            estimator=estimator,
+            data=split.dataset.vectors,
+            distance=split.distance,
+            train=split.train,
+            validation=split.validation,
+            config=self.incremental_config,
+        )
+        self._input_dim = estimator.expected_input_dim
+        return self
+
+    def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        if self.state is None:
+            raise RuntimeError("estimator must be fitted before calling estimate()")
+        return self.state.estimate(queries, thresholds)
+
+    def update(
+        self,
+        inserts: Optional[np.ndarray] = None,
+        deletes: Optional[np.ndarray] = None,
+    ) -> List[UpdateStepReport]:
+        if self.state is None:
+            raise RuntimeError("estimator must be fitted before calling update()")
+        return self.state.update(inserts=inserts, deletes=deletes)
+
+    @property
+    def reports(self) -> List[UpdateStepReport]:
+        """Per-operation reports accumulated across all updates so far."""
+        return [] if self.state is None else self.state.reports
+
+    def get_params(self):
+        from dataclasses import asdict
+
+        params = asdict(self.config)
+        params.update(
+            {f"update_{key}": value for key, value in asdict(self.incremental_config).items()}
+        )
+        return params

@@ -23,6 +23,7 @@ from ..data.workload import Workload, WorkloadSplit
 from ..estimator import SelectivityEstimator
 from ..index import Partitioning, build_partitioning
 from ..nn import Adam, DataLoader, log_huber_loss
+from ..registry import register_estimator
 from .config import SelNetConfig
 from .partitioned import PartitionedSelNet
 from .selnet import SelNetModel
@@ -284,6 +285,7 @@ class SelNetEstimator(SelectivityEstimator):
         rng = np.random.default_rng(config.seed)
         data = split.dataset.vectors
         input_dim = data.shape[1]
+        self._input_dim = input_dim
         self._t_max = split.t_max
 
         if config.num_partitions > 1:
@@ -315,6 +317,12 @@ class SelNetEstimator(SelectivityEstimator):
             raise RuntimeError("estimator must be fitted before calling estimate()")
         return self.model.predict(queries, thresholds)
 
+    def get_params(self):
+        """Flat SelNetConfig fields (the registry's parameter convention)."""
+        from dataclasses import asdict
+
+        return asdict(self.config)
+
     # ------------------------------------------------------------------ #
     def curve_for_query(self, query: np.ndarray):
         """Learned piece-wise linear curve for one query (Figure 4 support).
@@ -335,3 +343,72 @@ class SelNetEstimator(SelectivityEstimator):
             curve = local.curve_for_query(query)
             total += curve(grid)
         return PiecewiseLinearCurve(tau=grid, p=total)
+
+
+# ---------------------------------------------------------------------- #
+# Registry entries for the three SelNet variants of the paper
+# ---------------------------------------------------------------------- #
+_TUPLE_CONFIG_FIELDS = ("tau_hidden_sizes", "p_hidden_sizes", "ae_hidden_sizes")
+
+
+def coerce_selnet_params(params: dict) -> dict:
+    """Normalise flat SelNetConfig kwargs (JSON lists -> tuple-typed fields)."""
+    params = dict(params)
+    for field_name in _TUPLE_CONFIG_FIELDS:
+        if field_name in params and params[field_name] is not None:
+            params[field_name] = tuple(params[field_name])
+    return params
+
+
+def _selnet_variant_factory(display_name: str, **forced):
+    """Factory building a SelNet variant from flat SelNetConfig fields."""
+
+    def build(**params) -> SelNetEstimator:
+        params = dict(params)
+        params.update(forced)
+        return SelNetEstimator(SelNetConfig(**coerce_selnet_params(params)), name=display_name)
+
+    return build
+
+
+def _selnet_scale_params(scale, num_vectors):
+    from dataclasses import asdict
+
+    return asdict(scale.selnet_config())
+
+
+register_estimator(
+    "selnet",
+    factory=_selnet_variant_factory("SelNet"),
+    cls=SelNetEstimator,
+    display_name="SelNet",
+    description="Full SelNet: cover-tree partitioned, query-dependent control points",
+    consistent=True,
+    default_params={"num_partitions": 3},
+    scale_params=_selnet_scale_params,
+)
+register_estimator(
+    "selnet-ct",
+    factory=_selnet_variant_factory("SelNet-ct", num_partitions=1),
+    cls=SelNetEstimator,
+    display_name="SelNet-ct",
+    description="SelNet without data partitioning (single global model)",
+    consistent=True,
+    scale_params=lambda scale, num_vectors: {
+        **_selnet_scale_params(scale, num_vectors),
+        "num_partitions": 1,
+    },
+)
+register_estimator(
+    "selnet-ad-ct",
+    factory=_selnet_variant_factory("SelNet-ad-ct", num_partitions=1, query_dependent_tau=False),
+    cls=SelNetEstimator,
+    display_name="SelNet-ad-ct",
+    description="SelNet ablation: no partitioning, query-independent tau",
+    consistent=True,
+    scale_params=lambda scale, num_vectors: {
+        **_selnet_scale_params(scale, num_vectors),
+        "num_partitions": 1,
+        "query_dependent_tau": False,
+    },
+)

@@ -26,6 +26,11 @@ from .metrics import (
 )
 
 
+def _identity_threshold(threshold: float) -> float:
+    """Euclidean thresholds are already Euclidean (named so it pickles)."""
+    return float(threshold)
+
+
 @dataclass(frozen=True)
 class DistanceFunction:
     """A named distance with its batch kernels and metric properties."""
@@ -44,13 +49,18 @@ class DistanceFunction:
     def __call__(self, x: np.ndarray, data: np.ndarray) -> np.ndarray:
         return self.query_to_data(x, data)
 
+    def __reduce__(self):
+        # Serialise by name so fitted estimators that hold a distance can be
+        # pickled and reloaded in another process (repro.persistence).
+        return (get_distance, (self.name,))
+
 
 EUCLIDEAN = DistanceFunction(
     name="euclidean",
     query_to_data=euclidean_distance,
     pairwise=pairwise_euclidean,
     is_metric=True,
-    threshold_to_euclidean=lambda t: float(t),
+    threshold_to_euclidean=_identity_threshold,
 )
 
 # Cosine distance is not a metric in general, but on unit vectors it is

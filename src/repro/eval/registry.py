@@ -1,27 +1,20 @@
-"""Estimator factories keyed by the model names used in the paper's tables.
+"""Paper-experiment estimator factories, on top of the public registry.
 
-The registry builds every estimator with hyper-parameters appropriate to the
-chosen :class:`~repro.experiments.scale.ExperimentScale`, so the accuracy,
-timing and monotonicity experiments all evaluate the same model zoo.
+This module is a thin consumer of :mod:`repro.registry`: it maps the model
+names used in the paper's tables (``"SelNet"``, ``"LightGBM-m"``...) to
+registry keys and builds every estimator with the hyper-parameters its
+:class:`~repro.registry.EstimatorSpec` declares for the chosen
+:class:`~repro.experiments.scale.ExperimentScale`, so the accuracy, timing
+and monotonicity experiments all evaluate the same model zoo.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional
 
-from ..baselines import (
-    DLNEstimator,
-    DNNEstimator,
-    KDEEstimator,
-    LightGBMEstimator,
-    LSHEstimator,
-    MoEEstimator,
-    RMIEstimator,
-    UMNNEstimator,
-)
-from ..core import SelNetConfig, SelNetEstimator
 from ..estimator import SelectivityEstimator
 from ..experiments.scale import ExperimentScale
+from ..registry import create_estimator, get_estimator_spec, iter_estimator_specs
 
 EstimatorFactory = Callable[[], SelectivityEstimator]
 
@@ -43,6 +36,17 @@ PAPER_MODEL_ORDER = (
 ABLATION_MODEL_ORDER = ("SelNet", "SelNet-ct", "SelNet-ad-ct")
 
 
+def _display_to_key() -> Dict[str, str]:
+    """Map paper display names to registry keys (computed from the specs)."""
+    return {spec.display_name: spec.name for spec in iter_estimator_specs()}
+
+
+#: models whose estimates are consistent by construction (the * in the tables)
+CONSISTENT_MODELS = frozenset(
+    spec.display_name for spec in iter_estimator_specs() if spec.guarantees_consistency
+)
+
+
 def selnet_factory(
     scale: ExperimentScale,
     variant: str = "SelNet",
@@ -50,18 +54,15 @@ def selnet_factory(
     **config_overrides,
 ) -> EstimatorFactory:
     """Factory for a SelNet variant (``SelNet`` / ``SelNet-ct`` / ``SelNet-ad-ct``)."""
-    if variant == "SelNet":
-        overrides = dict(num_partitions=scale.num_partitions, seed=seed)
-    elif variant == "SelNet-ct":
-        overrides = dict(num_partitions=1, seed=seed)
-    elif variant == "SelNet-ad-ct":
-        overrides = dict(num_partitions=1, query_dependent_tau=False, seed=seed)
-    else:
+    if variant not in ABLATION_MODEL_ORDER:
         raise KeyError(f"unknown SelNet variant {variant!r}")
-    overrides.update(config_overrides)
+    key = _display_to_key()[variant]
+    params = get_estimator_spec(key).params_for_scale(scale)
+    params["seed"] = seed
+    params.update(config_overrides)
 
     def build() -> SelectivityEstimator:
-        return SelNetEstimator(scale.selnet_config(**overrides), name=variant)
+        return create_estimator(key, **params)
 
     return build
 
@@ -82,44 +83,31 @@ def default_estimators(
     num_vectors:
         Database size (used for the KDE / LSH sampling budgets).
     distance_name:
-        ``"cosine"`` or ``"euclidean"``; LSH is omitted for Euclidean
-        distance, exactly as in the paper's Table 2.
+        ``"cosine"`` or ``"euclidean"``; estimators whose spec does not
+        support the distance are omitted (LSH on Euclidean, exactly as in
+        the paper's Table 2).
     include:
-        Optional subset of model names to build (paper order is preserved).
+        Optional subset of model names to build (paper order is preserved
+        when omitted; the given order is preserved otherwise).
     seed:
         Seed forwarded to every estimator.
     """
-    samples = scale.sample_budget(num_vectors)
-    epochs = scale.baseline_epochs
+    display_map = _display_to_key()
+    names: List[str] = list(include) if include is not None else list(PAPER_MODEL_ORDER)
 
-    factories: Dict[str, EstimatorFactory] = {
-        "KDE": lambda: KDEEstimator(num_samples=samples, seed=seed),
-        "LightGBM": lambda: LightGBMEstimator(
-            monotone=False, num_trees=scale.gbdt_trees, seed=seed
-        ),
-        "LightGBM-m": lambda: LightGBMEstimator(
-            monotone=True, num_trees=scale.gbdt_trees, seed=seed
-        ),
-        "DNN": lambda: DNNEstimator(epochs=epochs, seed=seed),
-        "MoE": lambda: MoEEstimator(epochs=epochs, num_experts=6, top_k=2, seed=seed),
-        "RMI": lambda: RMIEstimator(epochs=epochs, num_leaf_models=6, seed=seed),
-        "DLN": lambda: DLNEstimator(epochs=epochs, num_lattices=6, seed=seed),
-        "UMNN": lambda: UMNNEstimator(epochs=epochs, seed=seed),
-        "SelNet": selnet_factory(scale, "SelNet", seed=seed),
-        "SelNet-ct": selnet_factory(scale, "SelNet-ct", seed=seed),
-        "SelNet-ad-ct": selnet_factory(scale, "SelNet-ad-ct", seed=seed),
-    }
-    if distance_name == "cosine":
-        factories["LSH"] = lambda: LSHEstimator(num_samples=samples, seed=seed)
+    factories: Dict[str, EstimatorFactory] = {}
+    for display in names:
+        key = display_map.get(display)
+        if key is None:
+            continue
+        spec = get_estimator_spec(key)
+        if not spec.supports_distance(distance_name):
+            continue
+        params = spec.params_for_scale(scale, num_vectors)
+        params["seed"] = seed
 
-    if include is None:
-        names: List[str] = [name for name in PAPER_MODEL_ORDER if name in factories]
-    else:
-        names = [name for name in include if name in factories]
-    return {name: factories[name] for name in names}
+        def build(key: str = key, params: Dict = params) -> SelectivityEstimator:
+            return create_estimator(key, **dict(params))
 
-
-#: models whose estimates are consistent by construction (the * in the tables)
-CONSISTENT_MODELS = frozenset(
-    {"LSH", "KDE", "LightGBM-m", "DLN", "UMNN", "SelNet", "SelNet-ct", "SelNet-ad-ct"}
-)
+        factories[display] = build
+    return factories

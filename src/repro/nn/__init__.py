@@ -24,7 +24,7 @@ from .losses import (
 )
 from .module import Module
 from .optim import SGD, Adam, Optimizer
-from .serialization import load_module, save_module
+from .serialization import load_module, load_state, save_module, save_state
 from .train import TrainingConfig, TrainingHistory, fit_regressor
 
 __all__ = [
@@ -56,4 +56,6 @@ __all__ = [
     "fit_regressor",
     "save_module",
     "load_module",
+    "save_state",
+    "load_state",
 ]

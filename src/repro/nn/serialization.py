@@ -9,7 +9,7 @@ same architecture (the same configuration / random-shape choices).
 from __future__ import annotations
 
 import os
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -18,12 +18,30 @@ from .module import Module
 PathLike = Union[str, os.PathLike]
 
 
+def save_state(path: PathLike, state: Dict[str, np.ndarray]) -> None:
+    """Write an arbitrary name -> array state dictionary to ``.npz``.
+
+    Used by :func:`save_module` and by the estimator persistence layer
+    (:mod:`repro.persistence`), which stores the parameters of every network
+    owned by an estimator in one archive.
+    """
+    if not state:
+        raise ValueError("state dictionary is empty, nothing to save")
+    np.savez(path, **state)
+
+
+def load_state(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read a state dictionary written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
 def save_module(module: Module, path: PathLike) -> None:
     """Write every parameter of ``module`` to an ``.npz`` checkpoint."""
     state = module.state_dict()
     if not state:
         raise ValueError("module has no parameters to save")
-    np.savez(path, **state)
+    save_state(path, state)
 
 
 def load_module(module: Module, path: PathLike) -> Module:
@@ -32,7 +50,5 @@ def load_module(module: Module, path: PathLike) -> Module:
     The module must already have the same architecture (same parameter names
     and shapes); mismatches raise ``KeyError`` / ``ValueError``.
     """
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
-    module.load_state_dict(state)
+    module.load_state_dict(load_state(path))
     return module

@@ -1,0 +1,225 @@
+"""Public estimator registry: named construction with capability metadata.
+
+Every estimator in the library registers itself (via the
+:func:`register_estimator` decorator or a direct call with a ``factory``)
+under a lowercase key, carrying an :class:`EstimatorSpec` that records the
+capabilities the rest of the system introspects:
+
+* consistency guarantee (the ``*`` of the paper's tables),
+* supported distances (LSH is cosine-only),
+* data-update support (the incremental SelNet of Section 5.4),
+* default hyper-parameters, both static and keyed by experiment scale.
+
+Typical use::
+
+    from repro import available_estimators, create_estimator
+
+    print(available_estimators())           # ('lsh', 'kde', ..., 'selnet', ...)
+    estimator = create_estimator("selnet", epochs=30, num_partitions=3)
+    estimator.fit(split)
+
+The paper-experiment registry (:mod:`repro.eval.registry`), the CLI and the
+serving layer (:mod:`repro.serving`) are all thin consumers of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .estimator import SelectivityEstimator
+    from .experiments.scale import ExperimentScale
+
+#: signature of a spec's scale hook: (scale, num_vectors) -> constructor kwargs
+ScaleParamsFn = Callable[["ExperimentScale", int], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """Everything the system knows about one registered estimator."""
+
+    #: registry key, lowercase (e.g. ``"selnet"``, ``"lightgbm-m"``)
+    name: str
+    #: display name used in the paper's tables (e.g. ``"SelNet"``)
+    display_name: str
+    #: one-line description for ``repro models`` and documentation
+    description: str
+    #: the estimator class (for isinstance checks and docs); may be shared by
+    #: several entries (e.g. the SelNet variants)
+    cls: Optional[type]
+    #: builds an estimator instance from flat keyword parameters
+    factory: Callable[..., "SelectivityEstimator"]
+    #: consistency guarantee (monotone in the threshold by construction)
+    guarantees_consistency: bool = False
+    #: implements the ``update(inserts, deletes)`` protocol
+    supports_updates: bool = False
+    #: distance names the estimator can be fitted on
+    supported_distances: Tuple[str, ...] = ("cosine", "euclidean")
+    #: static default constructor parameters (overridable per call)
+    default_params: Mapping[str, Any] = field(default_factory=dict)
+    #: optional hook computing scale-appropriate hyper-parameters
+    scale_params: Optional[ScaleParamsFn] = None
+
+    # ------------------------------------------------------------------ #
+    def build(self, **params: Any) -> "SelectivityEstimator":
+        """Construct an estimator; ``params`` override the spec defaults."""
+        merged = dict(self.default_params)
+        merged.update(params)
+        return self.factory(**merged)
+
+    def supports_distance(self, distance_name: str) -> bool:
+        return distance_name.lower() in self.supported_distances
+
+    def params_for_scale(self, scale, num_vectors: Optional[int] = None) -> Dict[str, Any]:
+        """Default hyper-parameters for an experiment scale.
+
+        ``scale`` is an :class:`~repro.experiments.scale.ExperimentScale` or
+        its name (``"tiny"`` / ``"small"`` / ``"medium"``); ``num_vectors``
+        defaults to the scale's dataset size (it drives sampling budgets).
+        """
+        if isinstance(scale, str):
+            from .experiments.scale import get_scale
+
+            scale = get_scale(scale)
+        if self.scale_params is None:
+            return dict(self.default_params)
+        if num_vectors is None:
+            num_vectors = scale.num_vectors
+        params = dict(self.default_params)
+        params.update(self.scale_params(scale, num_vectors))
+        return params
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able capability summary (used by ``repro models``)."""
+        return {
+            "name": self.name,
+            "display_name": self.display_name,
+            "description": self.description,
+            "class": None if self.cls is None else f"{self.cls.__module__}.{self.cls.__qualname__}",
+            "guarantees_consistency": self.guarantees_consistency,
+            "supports_updates": self.supports_updates,
+            "supported_distances": list(self.supported_distances),
+            "default_params": {key: _plain(value) for key, value in self.default_params.items()},
+        }
+
+
+def _plain(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+_SPECS: Dict[str, EstimatorSpec] = {}
+
+
+def register_estimator(
+    name: str,
+    *,
+    display_name: Optional[str] = None,
+    description: str = "",
+    consistent: bool = False,
+    supports_updates: bool = False,
+    distances: Tuple[str, ...] = ("cosine", "euclidean"),
+    default_params: Optional[Mapping[str, Any]] = None,
+    scale_params: Optional[ScaleParamsFn] = None,
+    factory: Optional[Callable[..., "SelectivityEstimator"]] = None,
+    cls: Optional[type] = None,
+    override: bool = False,
+):
+    """Register an estimator under ``name``.
+
+    Two forms:
+
+    * decorator on an estimator class — the class itself is the factory::
+
+          @register_estimator("kde", display_name="KDE", consistent=True)
+          class KDEEstimator(SelectivityEstimator): ...
+
+    * direct call with ``factory`` for parameterised variants::
+
+          register_estimator("selnet-ct", factory=..., cls=SelNetEstimator, ...)
+    """
+    key = name.lower()
+
+    def _register(target: Callable[..., "SelectivityEstimator"]):
+        if key in _SPECS and not override:
+            raise KeyError(f"estimator {key!r} is already registered")
+        target_cls = cls if cls is not None else (target if isinstance(target, type) else None)
+        _SPECS[key] = EstimatorSpec(
+            name=key,
+            display_name=display_name or getattr(target, "name", None) or key,
+            description=description,
+            cls=target_cls,
+            factory=target,
+            guarantees_consistency=consistent,
+            supports_updates=supports_updates,
+            supported_distances=tuple(d.lower() for d in distances),
+            default_params=dict(default_params or {}),
+            scale_params=scale_params,
+        )
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def _ensure_builtins_loaded() -> None:
+    """Import the modules whose import side-effect registers the built-ins."""
+    from . import baselines  # noqa: F401  (registers the nine baselines)
+    from .core import trainer  # noqa: F401  (registers the SelNet variants)
+    from .core import incremental  # noqa: F401  (registers selnet-inc)
+
+
+def available_estimators() -> Tuple[str, ...]:
+    """Names of every registered estimator, in registration order."""
+    _ensure_builtins_loaded()
+    return tuple(_SPECS)
+
+
+def iter_estimator_specs() -> Tuple[EstimatorSpec, ...]:
+    """All registered specs, in registration order."""
+    _ensure_builtins_loaded()
+    return tuple(_SPECS.values())
+
+
+def get_estimator_spec(name: str) -> EstimatorSpec:
+    """Look up a spec by registry key (raises ``KeyError`` with suggestions)."""
+    _ensure_builtins_loaded()
+    key = name.lower()
+    if key not in _SPECS:
+        raise KeyError(
+            f"unknown estimator {name!r}; choose from {sorted(_SPECS)}"
+        )
+    return _SPECS[key]
+
+
+def create_estimator(name: str, **params: Any) -> "SelectivityEstimator":
+    """Construct a registered estimator by name.
+
+    ``params`` override the spec's static defaults and are forwarded to the
+    estimator constructor (for SelNet variants they are
+    :class:`~repro.core.config.SelNetConfig` fields)::
+
+        create_estimator("kde", num_samples=500)
+        create_estimator("selnet", epochs=30, num_partitions=3, seed=1)
+    """
+    return get_estimator_spec(name).build(**params)
+
+
+def find_registration(estimator: "SelectivityEstimator") -> Optional[str]:
+    """Registry key of an estimator instance, or None when unregistered.
+
+    Matches by display name first (distinguishing the SelNet variants, which
+    share a class), then by class.
+    """
+    _ensure_builtins_loaded()
+    display = getattr(estimator, "name", None)
+    for spec in _SPECS.values():
+        if display is not None and spec.display_name == display:
+            return spec.name
+    for spec in _SPECS.values():
+        if spec.cls is type(estimator):
+            return spec.name
+    return None

@@ -1,0 +1,31 @@
+"""Serving layer: model store facade, micro-batching, curve cache.
+
+See :class:`EstimationService` for the entry point::
+
+    from repro.serving import EstimationService
+
+    service = EstimationService("models/")
+    service.estimate("selnet-faces", queries, thresholds)
+"""
+
+from .batching import MicroBatch, MicroBatcher, iter_microbatches
+from .cache import CachedCurve, CurveCache, query_cache_key
+from .service import (
+    EstimationService,
+    ModelStats,
+    ServingBenchmarkReport,
+    run_serving_benchmark,
+)
+
+__all__ = [
+    "EstimationService",
+    "ModelStats",
+    "ServingBenchmarkReport",
+    "run_serving_benchmark",
+    "CurveCache",
+    "CachedCurve",
+    "query_cache_key",
+    "MicroBatch",
+    "MicroBatcher",
+    "iter_microbatches",
+]

@@ -1,0 +1,105 @@
+"""Micro-batching of (query, threshold) estimation requests.
+
+Estimators are vectorised: one ``estimate`` call over a batch amortises the
+per-call overhead (autoencoder forward, partition indicators...).  The
+serving layer therefore never evaluates requests one by one — incoming work
+is chopped into micro-batches of a bounded size, which caps per-request
+latency while keeping the throughput of batched evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class MicroBatch:
+    """One slice of a request stream, with positions into the original order."""
+
+    queries: np.ndarray
+    thresholds: np.ndarray
+    positions: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.thresholds)
+
+
+def iter_microbatches(
+    queries: np.ndarray,
+    thresholds: np.ndarray,
+    max_batch_size: int,
+) -> Iterator[MicroBatch]:
+    """Split aligned query / threshold arrays into bounded micro-batches."""
+    queries = np.asarray(queries, dtype=np.float64)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if queries.ndim != 2:
+        raise ValueError(f"queries must be a 2-D array, got shape {queries.shape}")
+    if thresholds.ndim != 1 or len(thresholds) != len(queries):
+        raise ValueError(
+            f"thresholds must be 1-D and aligned with queries "
+            f"({len(queries)} queries, thresholds shape {thresholds.shape})"
+        )
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be at least 1")
+    for start in range(0, len(queries), max_batch_size):
+        stop = min(start + max_batch_size, len(queries))
+        yield MicroBatch(
+            queries=queries[start:stop],
+            thresholds=thresholds[start:stop],
+            positions=np.arange(start, stop),
+        )
+
+
+class MicroBatcher:
+    """Accumulates single requests and flushes them as one batched call.
+
+    Synchronous analogue of a request-queue batcher: callers ``submit``
+    individual (query, threshold) pairs and receive a ticket; ``flush``
+    evaluates everything in one vectorised call (split into micro-batches)
+    and returns the results in submission order.  The batcher auto-flushes
+    into ``results`` whenever ``max_batch_size`` requests are pending.
+    """
+
+    def __init__(
+        self,
+        estimate_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        max_batch_size: int = 256,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        self._estimate_fn = estimate_fn
+        self.max_batch_size = max_batch_size
+        self._pending: List[Tuple[np.ndarray, float]] = []
+        self._results: List[float] = []
+        self.batches_flushed = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, query: np.ndarray, threshold: float) -> int:
+        """Queue one request; returns its ticket (position in the results)."""
+        ticket = len(self._results) + len(self._pending)
+        self._pending.append((np.asarray(query, dtype=np.float64), float(threshold)))
+        if len(self._pending) >= self.max_batch_size:
+            self._flush_pending()
+        return ticket
+
+    def _flush_pending(self) -> None:
+        if not self._pending:
+            return
+        queries = np.stack([query for query, _ in self._pending])
+        thresholds = np.asarray([threshold for _, threshold in self._pending])
+        values = np.asarray(self._estimate_fn(queries, thresholds), dtype=np.float64)
+        self._results.extend(float(v) for v in values)
+        self._pending.clear()
+        self.batches_flushed += 1
+
+    def flush(self) -> np.ndarray:
+        """Evaluate any pending requests and return all results so far."""
+        self._flush_pending()
+        out = np.asarray(self._results, dtype=np.float64)
+        self._results = []
+        return out

@@ -1,0 +1,126 @@
+"""LRU cache of per-query selectivity curves, with hit-rate statistics.
+
+Selectivity serving has heavy query reuse (the same embedding is probed at
+many thresholds — blocking plans, progressive refinement, dashboards).  A
+curve cache exploits the shape of the problem: one cached piece-wise curve
+per (model, query) answers *every* threshold for that query by linear
+interpolation, instead of one model forward pass per request.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CachedCurve:
+    """A selectivity curve sampled on a fixed threshold grid."""
+
+    thresholds: np.ndarray
+    values: np.ndarray
+
+    def __call__(self, threshold: float) -> float:
+        """Interpolated estimate at one threshold (clamped to the grid ends)."""
+        return float(np.interp(threshold, self.thresholds, self.values))
+
+    def at(self, thresholds: np.ndarray) -> np.ndarray:
+        return np.interp(np.asarray(thresholds, dtype=np.float64), self.thresholds, self.values)
+
+
+def query_cache_key(model_name: str, query: np.ndarray, decimals: int = 10) -> bytes:
+    """Stable cache key: model name + the rounded query bytes."""
+    rounded = np.round(np.asarray(query, dtype=np.float64), decimals)
+    # 0.0 and -0.0 have different byte patterns; normalise so they collide.
+    rounded = rounded + 0.0
+    return model_name.encode("utf-8") + b"\x00" + rounded.tobytes()
+
+
+class CurveCache:
+    """A bounded LRU mapping (model, query) -> :class:`CachedCurve`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached curves; the least recently used entry is
+        evicted when full.  ``capacity <= 0`` disables caching entirely
+        (every ``get`` misses, ``put`` is a no-op).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[bytes, CachedCurve]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    def get(
+        self,
+        model_name: str,
+        query: np.ndarray,
+        threshold: Optional[float] = None,
+    ) -> Optional[CachedCurve]:
+        """Cached curve for a query, or None on a miss.
+
+        When ``threshold`` is given, an entry whose grid does not reach it
+        counts as a miss: interpolation would clamp to the grid end and
+        silently return a wrong estimate, so the caller must rebuild the
+        curve over a wider range instead.
+        """
+        key = query_cache_key(model_name, query)
+        entry = self._entries.get(key)
+        if entry is None or (threshold is not None and threshold > entry.thresholds[-1]):
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, model_name: str, query: np.ndarray, curve: CachedCurve) -> None:
+        if self.capacity <= 0:
+            return
+        key = query_cache_key(model_name, query)
+        self._entries[key] = curve
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, model_name: Optional[str] = None) -> int:
+        """Drop every entry (or only one model's — after a data update)."""
+        if model_name is None:
+            removed = len(self._entries)
+            self._entries.clear()
+        else:
+            prefix = model_name.encode("utf-8") + b"\x00"
+            stale = [key for key in self._entries if key.startswith(prefix)]
+            for key in stale:
+                del self._entries[key]
+            removed = len(stale)
+        self.invalidations += removed
+        return removed
+
+    # ------------------------------------------------------------------ #
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

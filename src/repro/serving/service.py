@@ -1,0 +1,479 @@
+"""The estimator serving facade.
+
+:class:`EstimationService` turns a directory of saved estimators (see
+:mod:`repro.persistence`) into a queryable model store:
+
+* models are loaded lazily by name and kept in memory;
+* batched ``(query, threshold)`` requests are routed through bounded
+  micro-batches (:mod:`repro.serving.batching`);
+* an LRU selectivity-curve cache (:mod:`repro.serving.cache`) answers
+  repeated queries by interpolation instead of model forward passes;
+* per-model request counts, batch counts, latency and cache hit-rate
+  statistics are tracked for observability;
+* data updates are routed to estimators that support them, invalidating the
+  model's cached curves.
+
+The ``repro serve-bench`` CLI subcommand drives
+:func:`run_serving_benchmark` against this facade.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..estimator import SelectivityEstimator
+from ..persistence import SIDECAR_FILE, load_estimator, read_metadata
+from .batching import iter_microbatches
+from .cache import CachedCurve, CurveCache
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ModelStats:
+    """Counters for one served model."""
+
+    requests: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    curve_builds: int = 0
+    updates: int = 0
+    total_estimate_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        total_cache = self.cache_hits + self.cache_misses
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hits / total_cache if total_cache else 0.0,
+            "curve_builds": self.curve_builds,
+            "updates": self.updates,
+            "total_estimate_seconds": self.total_estimate_seconds,
+            "mean_latency_ms_per_request": (
+                1000.0 * self.total_estimate_seconds / self.requests if self.requests else 0.0
+            ),
+        }
+
+
+class EstimationService:
+    """Loads named estimators from disk and serves selectivity estimates.
+
+    Parameters
+    ----------
+    model_dir:
+        Directory whose sub-directories are saved estimators (each holding an
+        ``estimator.json`` sidecar).  Optional — models can also be attached
+        in-memory with :meth:`add_model`.
+    cache_capacity:
+        Maximum number of cached selectivity curves (``0`` disables the
+        cache).
+    curve_resolution:
+        Number of grid points per cached curve.
+    max_batch_size:
+        Upper bound on the rows per estimator call (micro-batching).
+    """
+
+    def __init__(
+        self,
+        model_dir: Optional[PathLike] = None,
+        cache_capacity: int = 256,
+        curve_resolution: int = 64,
+        max_batch_size: int = 256,
+    ) -> None:
+        if curve_resolution < 2:
+            raise ValueError("curve_resolution must be at least 2")
+        self.model_dir = None if model_dir is None else Path(model_dir)
+        self.curve_resolution = int(curve_resolution)
+        self.max_batch_size = int(max_batch_size)
+        self.cache = CurveCache(capacity=cache_capacity)
+        self._estimators: Dict[str, SelectivityEstimator] = {}
+        self._metadata: Dict[str, Dict[str, Any]] = {}
+        self._stats: Dict[str, ModelStats] = {}
+
+    # ------------------------------------------------------------------ #
+    # Model store
+    # ------------------------------------------------------------------ #
+    def available_models(self) -> List[str]:
+        """Names of every servable model (in-memory plus on-disk)."""
+        names = set(self._estimators)
+        if self.model_dir is not None and self.model_dir.is_dir():
+            for child in sorted(self.model_dir.iterdir()):
+                if (child / SIDECAR_FILE).is_file():
+                    names.add(child.name)
+        return sorted(names)
+
+    def describe_models(self) -> Dict[str, Dict[str, Any]]:
+        """Sidecar metadata for every servable model (no unpickling)."""
+        described: Dict[str, Dict[str, Any]] = {}
+        for name in self.available_models():
+            if name in self._metadata:
+                described[name] = self._metadata[name]
+            elif self.model_dir is not None and (self.model_dir / name / SIDECAR_FILE).is_file():
+                described[name] = read_metadata(self.model_dir / name)
+            else:
+                estimator = self._estimators[name]
+                described[name] = {
+                    "name": estimator.name,
+                    "class": type(estimator).__qualname__,
+                    "guarantees_consistency": estimator.guarantees_consistency,
+                    "supports_updates": estimator.supports_updates,
+                }
+        return described
+
+    def add_model(
+        self,
+        name: str,
+        estimator: SelectivityEstimator,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Attach an already-constructed (fitted) estimator under ``name``.
+
+        Replacing an existing model drops its cached selectivity curves —
+        they describe the old estimator.
+        """
+        if name in self._estimators:
+            self.cache.invalidate(name)
+        self._estimators[name] = estimator
+        if metadata is not None:
+            self._metadata[name] = metadata
+        self._stats.setdefault(name, ModelStats())
+
+    def get(self, name: str) -> SelectivityEstimator:
+        """The estimator for ``name``, loading it from disk on first use."""
+        if name in self._estimators:
+            return self._estimators[name]
+        if self.model_dir is None:
+            raise KeyError(f"unknown model {name!r} (no model_dir configured)")
+        path = self.model_dir / name
+        if not (path / SIDECAR_FILE).is_file():
+            raise KeyError(
+                f"unknown model {name!r}; available: {self.available_models()}"
+            )
+        estimator = load_estimator(path)
+        self._estimators[name] = estimator
+        self._metadata[name] = read_metadata(path)
+        self._stats.setdefault(name, ModelStats())
+        return estimator
+
+    def _model_stats(self, name: str) -> ModelStats:
+        return self._stats.setdefault(name, ModelStats())
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self,
+        name: str,
+        queries: np.ndarray,
+        thresholds: np.ndarray,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """Batched selectivity estimates from the named model.
+
+        With ``use_cache=True`` every answer comes from the model's cached
+        selectivity curve (built on first sight of a query, then shared by
+        all thresholds of that query); with ``use_cache=False`` the call is
+        routed straight through micro-batched estimator evaluation and is
+        bit-identical to calling the estimator directly.
+        """
+        estimator = self.get(name)
+        queries = np.asarray(queries, dtype=np.float64)
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if queries.ndim != 2 or thresholds.ndim != 1 or len(queries) != len(thresholds):
+            raise ValueError(
+                f"expected aligned (n, dim) queries and (n,) thresholds, got "
+                f"{queries.shape} and {thresholds.shape}"
+            )
+        stats = self._model_stats(name)
+        start = time.perf_counter()
+        if use_cache and self.cache.capacity > 0:
+            results = self._estimate_cached(name, estimator, queries, thresholds, stats)
+        else:
+            results = self._estimate_direct(estimator, queries, thresholds, stats)
+        stats.requests += len(thresholds)
+        stats.total_estimate_seconds += time.perf_counter() - start
+        return results
+
+    def estimate_one(
+        self, name: str, query: np.ndarray, threshold: float, use_cache: bool = True
+    ) -> float:
+        query = np.asarray(query, dtype=np.float64)
+        result = self.estimate(name, query[None, :], np.asarray([threshold]), use_cache=use_cache)
+        return float(result[0])
+
+    def _estimate_direct(
+        self,
+        estimator: SelectivityEstimator,
+        queries: np.ndarray,
+        thresholds: np.ndarray,
+        stats: ModelStats,
+    ) -> np.ndarray:
+        results = np.empty(len(thresholds), dtype=np.float64)
+        for batch in iter_microbatches(queries, thresholds, self.max_batch_size):
+            results[batch.positions] = estimator.estimate(batch.queries, batch.thresholds)
+            stats.batches += 1
+        return results
+
+    def _estimate_cached(
+        self,
+        name: str,
+        estimator: SelectivityEstimator,
+        queries: np.ndarray,
+        thresholds: np.ndarray,
+        stats: ModelStats,
+    ) -> np.ndarray:
+        results = np.empty(len(thresholds), dtype=np.float64)
+        miss_positions: List[int] = []
+        for i in range(len(thresholds)):
+            # An entry whose grid stops short of the requested threshold is a
+            # miss: the curve gets rebuilt over a range covering it.
+            curve = self.cache.get(name, queries[i], threshold=float(thresholds[i]))
+            if curve is not None:
+                results[i] = curve(thresholds[i])
+                stats.cache_hits += 1
+            else:
+                miss_positions.append(i)
+                stats.cache_misses += 1
+        if miss_positions:
+            self._fill_misses(name, estimator, queries, thresholds, miss_positions, results, stats)
+        return results
+
+    def _curve_grid(self, estimator: SelectivityEstimator, t_hi: float) -> np.ndarray:
+        t_max = getattr(estimator, "_t_max", None)
+        upper = max(float(t_max) if t_max else 0.0, float(t_hi) * 1.05)
+        if upper <= 0.0:
+            upper = 1.0
+        return np.linspace(0.0, upper, self.curve_resolution)
+
+    def _fill_misses(
+        self,
+        name: str,
+        estimator: SelectivityEstimator,
+        queries: np.ndarray,
+        thresholds: np.ndarray,
+        miss_positions: List[int],
+        results: np.ndarray,
+        stats: ModelStats,
+    ) -> None:
+        """Build curves for unseen queries in batched calls, cache, answer."""
+        unique: Dict[bytes, List[int]] = {}
+        for position in miss_positions:
+            unique.setdefault(queries[position].tobytes(), []).append(position)
+
+        grid = self._curve_grid(estimator, float(thresholds[miss_positions].max()))
+        unique_rows = [positions[0] for positions in unique.values()]
+        curve_queries = np.repeat(queries[unique_rows], len(grid), axis=0)
+        curve_thresholds = np.tile(grid, len(unique_rows))
+        values = np.empty(len(curve_thresholds), dtype=np.float64)
+        for batch in iter_microbatches(curve_queries, curve_thresholds, self.max_batch_size):
+            values[batch.positions] = estimator.estimate(batch.queries, batch.thresholds)
+            stats.batches += 1
+
+        for index, positions in enumerate(unique.values()):
+            curve = CachedCurve(
+                thresholds=grid,
+                values=values[index * len(grid) : (index + 1) * len(grid)],
+            )
+            self.cache.put(name, queries[positions[0]], curve)
+            stats.curve_builds += 1
+            for position in positions:
+                results[position] = curve(thresholds[position])
+
+    def curve(
+        self, name: str, query: np.ndarray, thresholds: Optional[np.ndarray] = None
+    ) -> CachedCurve:
+        """The named model's selectivity curve for one query.
+
+        With the default grid the curve is also cached for later
+        ``estimate`` calls.  A caller-supplied ``thresholds`` grid is *not*
+        cached: an arbitrary (possibly coarse or narrow) grid entering the
+        shared cache would silently degrade every subsequent estimate for
+        that query.
+        """
+        estimator = self.get(name)
+        query = np.asarray(query, dtype=np.float64)
+        if thresholds is None:
+            grid = self._curve_grid(estimator, t_hi=0.0)
+        else:
+            grid = np.asarray(thresholds, dtype=np.float64)
+        values = estimator.selectivity_curve(query, grid)
+        curve = CachedCurve(thresholds=grid, values=np.asarray(values, dtype=np.float64))
+        if thresholds is None:
+            self.cache.put(name, query, curve)
+        return curve
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def update(
+        self,
+        name: str,
+        inserts: Optional[np.ndarray] = None,
+        deletes: Optional[Sequence[int]] = None,
+    ):
+        """Route a data update to the named model, dropping its cached curves.
+
+        Raises :class:`repro.estimator.UpdateNotSupportedError` when the
+        model's estimator does not implement the update protocol.
+        """
+        estimator = self.get(name)
+        reports = estimator.update(inserts=inserts, deletes=deletes)
+        self.cache.invalidate(name)
+        self._model_stats(name).updates += 1
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Service-wide and per-model counters (JSON-able)."""
+        per_model = {name: stats.as_dict() for name, stats in self._stats.items()}
+        return {
+            "models_loaded": sorted(self._estimators),
+            "cache": self.cache.stats(),
+            "per_model": per_model,
+            "total_requests": sum(stats.requests for stats in self._stats.values()),
+            "total_batches": sum(stats.batches for stats in self._stats.values()),
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Serving benchmark (the `repro serve-bench` subcommand)
+# ---------------------------------------------------------------------- #
+@dataclass
+class ServingBenchmarkReport:
+    """Results of one serving benchmark run against one model."""
+
+    model: str
+    num_requests: int
+    arrival_batch: int
+    use_cache: bool
+    elapsed_seconds: float
+    requests_per_second: float
+    mean_batch_latency_ms: float
+    p50_batch_latency_ms: float
+    p95_batch_latency_ms: float
+    cache_hit_rate: float
+    max_interpolation_error: float
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        lines = [
+            f"serve-bench: model={self.model} requests={self.num_requests} "
+            f"arrival_batch={self.arrival_batch} cache={'on' if self.use_cache else 'off'}",
+            f"  throughput        : {self.requests_per_second:>10.1f} requests/s "
+            f"({self.elapsed_seconds:.3f} s total)",
+            f"  batch latency (ms): mean {self.mean_batch_latency_ms:.2f}  "
+            f"p50 {self.p50_batch_latency_ms:.2f}  p95 {self.p95_batch_latency_ms:.2f}",
+            f"  cache hit rate    : {100.0 * self.cache_hit_rate:>6.1f} %",
+            f"  max curve error   : {100.0 * self.max_interpolation_error:>6.2f} % "
+            "(cached-curve vs direct estimate)",
+        ]
+        return "\n".join(lines)
+
+
+def run_serving_benchmark(
+    service: EstimationService,
+    model: str,
+    queries: np.ndarray,
+    thresholds: np.ndarray,
+    num_requests: int = 2000,
+    arrival_batch: int = 32,
+    hot_fraction: float = 0.1,
+    hot_probability: float = 0.7,
+    use_cache: bool = True,
+    seed: int = 0,
+) -> ServingBenchmarkReport:
+    """Replay a skewed request stream against the service and measure it.
+
+    Requests are sampled from the provided (query, threshold) pool with a
+    hot set: ``hot_probability`` of the traffic goes to the
+    ``hot_fraction`` most popular rows — the reuse pattern that makes the
+    selectivity-curve cache pay off.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    pool_size = len(thresholds)
+    hot_size = max(int(hot_fraction * pool_size), 1)
+
+    # Counters are cumulative per service; remember where this run starts so
+    # the report describes exactly this benchmark's traffic even when several
+    # benchmarks share one service (e.g. cache-on vs cache-off comparisons).
+    counters_before = dict(service.stats()["per_model"].get(model, {}))
+
+    choices = np.where(
+        rng.random(num_requests) < hot_probability,
+        rng.integers(0, hot_size, size=num_requests),
+        rng.integers(0, pool_size, size=num_requests),
+    )
+
+    latencies: List[float] = []
+    served = np.empty(num_requests, dtype=np.float64)
+    start = time.perf_counter()
+    for begin in range(0, num_requests, arrival_batch):
+        index = choices[begin : begin + arrival_batch]
+        tick = time.perf_counter()
+        served[begin : begin + len(index)] = service.estimate(
+            model, queries[index], thresholds[index], use_cache=use_cache
+        )
+        latencies.append(1000.0 * (time.perf_counter() - tick))
+    elapsed = time.perf_counter() - start
+    # Snapshot before the verification pass and subtract the pre-run counters
+    # so the embedded stats describe exactly this benchmark's traffic.
+    stats_snapshot = service.stats()
+    model_stats = dict(stats_snapshot["per_model"].get(model, {}))
+    for key in (
+        "requests",
+        "batches",
+        "cache_hits",
+        "cache_misses",
+        "curve_builds",
+        "updates",
+        "total_estimate_seconds",
+    ):
+        model_stats[key] = model_stats.get(key, 0) - counters_before.get(key, 0)
+    run_cache_total = model_stats["cache_hits"] + model_stats["cache_misses"]
+    model_stats["cache_hit_rate"] = (
+        model_stats["cache_hits"] / run_cache_total if run_cache_total else 0.0
+    )
+    model_stats["mean_latency_ms_per_request"] = (
+        1000.0 * model_stats["total_estimate_seconds"] / model_stats["requests"]
+        if model_stats["requests"]
+        else 0.0
+    )
+    stats_snapshot["per_model"][model] = model_stats
+
+    # Accuracy of the cached-curve interpolation against direct evaluation,
+    # checked on a sample of the stream (straight through the estimator, so
+    # the verification traffic does not pollute the service stats).
+    sample = choices[: min(256, num_requests)]
+    direct = service.get(model).estimate(queries[sample], thresholds[sample])
+    sampled_served = served[: len(sample)]
+    scale = np.maximum(np.abs(direct), 1.0)
+    max_error = float(np.max(np.abs(sampled_served - direct) / scale)) if len(sample) else 0.0
+
+    latencies_array = np.asarray(latencies)
+    return ServingBenchmarkReport(
+        model=model,
+        num_requests=num_requests,
+        arrival_batch=arrival_batch,
+        use_cache=use_cache,
+        elapsed_seconds=elapsed,
+        requests_per_second=num_requests / elapsed if elapsed > 0 else float("inf"),
+        mean_batch_latency_ms=float(latencies_array.mean()),
+        p50_batch_latency_ms=float(np.percentile(latencies_array, 50)),
+        p95_batch_latency_ms=float(np.percentile(latencies_array, 95)),
+        cache_hit_rate=float(model_stats.get("cache_hit_rate", 0.0)),
+        max_interpolation_error=max_error,
+        stats=stats_snapshot,
+    )

@@ -1,0 +1,274 @@
+"""Tests for the serving subsystem and the lifecycle CLI subcommands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import UpdateNotSupportedError, create_estimator
+from repro.cli import main
+from repro.serving import (
+    CachedCurve,
+    CurveCache,
+    EstimationService,
+    MicroBatcher,
+    iter_microbatches,
+    run_serving_benchmark,
+)
+
+
+@pytest.fixture(scope="module")
+def model_dir(tiny_cosine_split, tmp_path_factory):
+    """Two fitted estimators saved under one model directory."""
+    directory = tmp_path_factory.mktemp("served-models")
+    kde = create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+    kde.save(directory / "kde", metadata={"setting": "face-cos", "scale": "tiny", "seed": 0})
+    gbdt = create_estimator("lightgbm-m", num_trees=6, seed=0).fit(tiny_cosine_split)
+    gbdt.save(directory / "gbdt", metadata={"setting": "face-cos", "scale": "tiny", "seed": 0})
+    return directory
+
+
+class TestCurveCache:
+    def test_hit_miss_and_lru_eviction(self):
+        cache = CurveCache(capacity=2)
+        grid = np.linspace(0.0, 1.0, 4)
+        queries = [np.full(3, float(i)) for i in range(3)]
+        assert cache.get("m", queries[0]) is None
+        for query in queries[:2]:
+            cache.put("m", query, CachedCurve(grid, grid * 2.0))
+        assert cache.get("m", queries[0]) is not None
+        cache.put("m", queries[2], CachedCurve(grid, grid))  # evicts queries[1]
+        assert cache.get("m", queries[1]) is None
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["size"] == 2
+        assert 0.0 < stats["hit_rate"] < 1.0
+
+    def test_zero_capacity_disables_cache(self):
+        cache = CurveCache(capacity=0)
+        cache.put("m", np.zeros(2), CachedCurve(np.array([0.0, 1.0]), np.array([0.0, 1.0])))
+        assert cache.get("m", np.zeros(2)) is None
+
+    def test_invalidate_per_model(self):
+        cache = CurveCache(capacity=8)
+        curve = CachedCurve(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        cache.put("a", np.zeros(2), curve)
+        cache.put("b", np.zeros(2), curve)
+        assert cache.invalidate("a") == 1
+        assert cache.get("b", np.zeros(2)) is not None
+
+    def test_interpolation(self):
+        curve = CachedCurve(np.array([0.0, 1.0]), np.array([0.0, 10.0]))
+        assert curve(0.5) == pytest.approx(5.0)
+        np.testing.assert_allclose(curve.at(np.array([0.0, 0.25, 1.0])), [0.0, 2.5, 10.0])
+
+
+class TestMicroBatching:
+    def test_iter_microbatches_covers_everything(self):
+        queries = np.arange(20, dtype=np.float64).reshape(10, 2)
+        thresholds = np.linspace(0.0, 1.0, 10)
+        batches = list(iter_microbatches(queries, thresholds, max_batch_size=4))
+        assert [len(batch) for batch in batches] == [4, 4, 2]
+        reassembled = np.concatenate([batch.positions for batch in batches])
+        np.testing.assert_array_equal(reassembled, np.arange(10))
+
+    def test_iter_microbatches_validates_shapes(self):
+        with pytest.raises(ValueError):
+            list(iter_microbatches(np.zeros(3), np.zeros(3), 2))
+        with pytest.raises(ValueError):
+            list(iter_microbatches(np.zeros((3, 2)), np.zeros(4), 2))
+
+    def test_microbatcher_flushes_in_submission_order(self):
+        calls = []
+
+        def estimate(queries, thresholds):
+            calls.append(len(thresholds))
+            return thresholds * 10.0
+
+        batcher = MicroBatcher(estimate, max_batch_size=3)
+        for i in range(7):
+            batcher.submit(np.zeros(2), float(i))
+        results = batcher.flush()
+        np.testing.assert_allclose(results, np.arange(7) * 10.0)
+        assert calls == [3, 3, 1]
+        assert batcher.batches_flushed == 3
+
+
+class TestEstimationService:
+    def test_lists_and_lazily_loads_models(self, model_dir):
+        service = EstimationService(model_dir)
+        assert service.available_models() == ["gbdt", "kde"]
+        described = service.describe_models()
+        assert described["kde"]["registry_name"] == "kde"
+        assert service.stats()["models_loaded"] == []
+        service.get("kde")
+        assert service.stats()["models_loaded"] == ["kde"]
+
+    def test_unknown_model_rejected(self, model_dir):
+        with pytest.raises(KeyError, match="unknown model"):
+            EstimationService(model_dir).get("nope")
+        with pytest.raises(KeyError, match="no model_dir"):
+            EstimationService().get("anything")
+
+    def test_uncached_estimates_match_direct_calls(self, model_dir, tiny_cosine_split):
+        service = EstimationService(model_dir, max_batch_size=7)
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        served = service.estimate("kde", queries, thresholds, use_cache=False)
+        direct = service.get("kde").estimate(queries, thresholds)
+        np.testing.assert_array_equal(served, direct)
+        stats = service.stats()["per_model"]["kde"]
+        assert stats["requests"] == len(thresholds)
+        assert stats["batches"] == -(-len(thresholds) // 7)
+
+    def test_curve_cache_hits_on_repeated_queries(self, model_dir, tiny_cosine_split):
+        service = EstimationService(model_dir, cache_capacity=64, curve_resolution=48)
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        first = service.estimate("kde", queries, thresholds)
+        second = service.estimate("kde", queries, thresholds)
+        np.testing.assert_allclose(first, second)
+        stats = service.stats()["per_model"]["kde"]
+        assert stats["cache_hits"] >= len(thresholds)
+        assert stats["curve_builds"] == len(np.unique(queries, axis=0))
+        assert service.cache.hit_rate > 0.0
+
+    def test_cached_answers_track_the_true_curve(self, model_dir, tiny_cosine_split):
+        service = EstimationService(model_dir, curve_resolution=256)
+        queries = tiny_cosine_split.test.queries[:6]
+        thresholds = tiny_cosine_split.test.thresholds[:6]
+        cached = service.estimate("gbdt", queries, thresholds, use_cache=True)
+        direct = service.estimate("gbdt", queries, thresholds, use_cache=False)
+        scale = np.maximum(np.abs(direct), 1.0)
+        assert np.max(np.abs(cached - direct) / scale) < 0.25
+
+    def test_in_memory_models_and_curves(self, model_dir, tiny_cosine_split):
+        service = EstimationService()
+        estimator = create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+        service.add_model("mem", estimator)
+        assert "mem" in service.available_models()
+        query = tiny_cosine_split.test.queries[0]
+        curve = service.curve("mem", query)  # default grid: cached for estimates
+        np.testing.assert_allclose(
+            curve.values, estimator.selectivity_curve(query, curve.thresholds)
+        )
+        service.estimate("mem", query[None, :], np.asarray([curve.thresholds[3]]))
+        assert service.stats()["per_model"]["mem"]["cache_hits"] == 1
+
+    def test_explicit_curve_grid_is_not_cached(self, model_dir, tiny_cosine_split):
+        service = EstimationService()
+        estimator = create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+        service.add_model("mem", estimator)
+        query = tiny_cosine_split.test.queries[0]
+        # A coarse caller-supplied grid must not enter the shared cache —
+        # it would degrade every later estimate for this query.
+        service.curve("mem", query, np.array([0.0, tiny_cosine_split.t_max]))
+        assert len(service.cache) == 0
+
+    def test_threshold_beyond_cached_grid_rebuilds_curve(self, model_dir, tiny_cosine_split):
+        service = EstimationService(model_dir, curve_resolution=64)
+        query = tiny_cosine_split.test.queries[:1]
+        small, large = 0.05, float(tiny_cosine_split.t_max)
+        service.estimate("kde", query, np.asarray([small]))  # curve only up to ~1.05*small
+        served = service.estimate("kde", query, np.asarray([large]))
+        direct = service.get("kde").estimate(query, np.asarray([large]))
+        # Without range-aware cache misses this would clamp to the tiny grid
+        # and silently underestimate by orders of magnitude.
+        assert abs(served[0] - direct[0]) / max(abs(direct[0]), 1.0) < 0.25
+        stats = service.stats()["per_model"]["kde"]
+        assert stats["curve_builds"] == 2  # the out-of-range hit forced a rebuild
+
+    def test_update_routing(self, model_dir, tiny_cosine_split, fast_selnet_config):
+        from dataclasses import asdict
+
+        service = EstimationService(model_dir)
+        with pytest.raises(UpdateNotSupportedError):
+            service.update("kde", inserts=np.zeros((1, 10)))
+
+        params = asdict(fast_selnet_config)
+        params.update(epochs=2, update_max_epochs=1, update_mae_drift_threshold=1e9)
+        incremental = create_estimator("selnet-inc", **params).fit(tiny_cosine_split)
+        service.add_model("inc", incremental)
+        query = tiny_cosine_split.test.queries[:1]
+        service.estimate("inc", query, tiny_cosine_split.test.thresholds[:1])
+        assert len(service.cache) > 0
+        reports = service.update("inc", inserts=np.zeros((2, 10)))
+        assert len(reports) == 1
+        assert service.stats()["per_model"]["inc"]["updates"] == 1
+        assert len(service.cache) == 0  # the update invalidated the cached curves
+
+    def test_benchmark_report(self, model_dir, tiny_cosine_split):
+        service = EstimationService(model_dir, cache_capacity=128)
+        report = run_serving_benchmark(
+            service,
+            "kde",
+            tiny_cosine_split.test.queries,
+            tiny_cosine_split.test.thresholds,
+            num_requests=200,
+            arrival_batch=16,
+            seed=1,
+        )
+        assert report.num_requests == 200
+        assert report.requests_per_second > 0
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+        assert "throughput" in report.text and "cache hit rate" in report.text
+
+
+class TestLifecycleCLI:
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "selnet-inc" in out and "updates" in out and "kde" in out
+
+    def test_models_command_json(self, capsys):
+        import json
+
+        assert main(["models", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in payload["registry"]}
+        assert "selnet" in names and "lsh" in names
+
+    def test_train_estimate_serve_bench_roundtrip(self, capsys, tmp_path):
+        out = tmp_path / "kde-tiny"
+        assert (
+            main(
+                [
+                    "train",
+                    "kde",
+                    "--setting",
+                    "face-cos",
+                    "--scale",
+                    "tiny",
+                    "--out",
+                    str(out),
+                    "--param",
+                    "num_samples=64",
+                ]
+            )
+            == 0
+        )
+        train_output = capsys.readouterr().out
+        assert "training KDE" in train_output and "saved to" in train_output
+        assert (out / "estimator.json").is_file()
+
+        assert main(["estimate", str(out)]) == 0
+        estimate_output = capsys.readouterr().out
+        assert "KDE on face-cos" in estimate_output and "test:" in estimate_output
+
+        assert main(["serve-bench", str(out), "--requests", "100"]) == 0
+        bench_output = capsys.readouterr().out
+        assert "serve-bench" in bench_output and "throughput" in bench_output
+
+        assert main(["models", "--dir", str(tmp_path)]) == 0
+        assert "kde-tiny" in capsys.readouterr().out
+
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "Tables:" in result.stdout
