@@ -1,0 +1,117 @@
+"""Cluster scaling — serving throughput versus shard count.
+
+Not a paper table: this benchmark measures the repo's own sharded serving
+tier (`repro.cluster`) against the single-process `EstimationService` on an
+identical seeded zipfian stream.  Each shard owns a bounded curve cache, so
+consistent-hash partitioning of the (model, query) key space grows the
+*aggregate* cache with the shard count; once the working set overflows one
+worker's cache, more shards mean a higher aggregate hit rate, fewer curve
+rebuilds and more requests per second — on any core count (the inline
+backend used here does not even need process parallelism).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro import create_estimator
+from repro.cluster import ClusterConfig, EstimationCluster, run_cluster_benchmark
+from repro.eval.harness import build_setting_split
+from repro.serving import EstimationService, run_serving_benchmark
+
+#: per-worker curve-cache capacity — deliberately smaller than the tiny
+#: workload's unique-query working set so cache pressure is what's measured
+CACHE_CAPACITY = 8
+SHARD_COUNTS = (1, 2, 4, 8)
+NUM_REQUESTS = 3000
+ARRIVAL_BATCH = 32
+SCENARIO = "zipfian"
+SEED = 1
+
+
+def _scaling_sweep(tiny_scale, model_dir):
+    split = build_setting_split("face-cos", tiny_scale, seed=0)
+    estimator = create_estimator("kde", num_samples=128, seed=0).fit(split)
+    estimator.save(model_dir / "kde")
+    folds = (split.train, split.validation, split.test)
+    queries = np.concatenate([fold.queries for fold in folds])
+    thresholds = np.concatenate([fold.thresholds for fold in folds])
+
+    service = EstimationService(model_dir, cache_capacity=CACHE_CAPACITY)
+    baseline = run_serving_benchmark(
+        service,
+        "kde",
+        queries,
+        thresholds,
+        num_requests=NUM_REQUESTS,
+        arrival_batch=ARRIVAL_BATCH,
+        scenario=SCENARIO,
+        seed=SEED,
+    )
+    rows = [
+        {
+            "shards": 0,
+            "label": "serve-bench (1 process)",
+            "requests_per_second": baseline.requests_per_second,
+            "hit_rate": baseline.cache_hit_rate,
+            "p95_ms": baseline.p95_batch_latency_ms,
+        }
+    ]
+    for shards in SHARD_COUNTS:
+        config = ClusterConfig(
+            num_shards=shards,
+            model_dir=model_dir,
+            backend="inline",
+            cache_capacity=CACHE_CAPACITY,
+        )
+        with EstimationCluster(config) as cluster:
+            report = run_cluster_benchmark(
+                cluster,
+                "kde",
+                queries,
+                thresholds,
+                num_requests=NUM_REQUESTS,
+                arrival_batch=ARRIVAL_BATCH,
+                scenario=SCENARIO,
+                seed=SEED,
+            )
+        hits = sum(entry["cache"]["hits"] for entry in report.stats["per_shard"])
+        misses = sum(entry["cache"]["misses"] for entry in report.stats["per_shard"])
+        rows.append(
+            {
+                "shards": shards,
+                "label": f"cluster-bench ({shards} shard{'s' if shards > 1 else ''})",
+                "requests_per_second": report.requests_per_second,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "p95_ms": report.p95_batch_latency_ms,
+            }
+        )
+    return rows
+
+
+def _format(rows) -> str:
+    lines = [
+        f"Cluster scaling on face-cos [tiny], scenario={SCENARIO}, "
+        f"cache={CACHE_CAPACITY}/worker, {NUM_REQUESTS} requests",
+        f"{'configuration':<26} {'req/s':>10} {'hit rate':>9} {'p95 ms':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['label']:<26} {row['requests_per_second']:>10.0f} "
+            f"{100.0 * row['hit_rate']:>8.1f}% {row['p95_ms']:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_cluster_scaling(tiny_scale, save_result, benchmark, tmp_path):
+    rows = run_once(benchmark, lambda: _scaling_sweep(tiny_scale, tmp_path))
+    save_result("cluster_scaling", _format(rows))
+    by_shards = {row["shards"]: row for row in rows}
+    single = by_shards[0]
+    # Partitioned caches must beat one process's cache once the working set
+    # overflows it: hit rate is deterministic for a seeded stream, and the
+    # extra hits should show up as throughput.
+    assert by_shards[4]["hit_rate"] > single["hit_rate"]
+    assert by_shards[4]["requests_per_second"] > single["requests_per_second"]
+    assert by_shards[2]["requests_per_second"] > single["requests_per_second"]

@@ -28,6 +28,16 @@ Serving (micro-batching + LRU selectivity-curve cache)::
     service = EstimationService("models/")
     service.estimate("selnet-faces", queries, thresholds)
     print(service.stats()["cache"]["hit_rate"])
+
+Sharded serving (consistent-hash routing, scatter–gather, admission
+control — see :mod:`repro.cluster`) with scenario-driven traffic
+(:mod:`repro.workloads`)::
+
+    from repro.cluster import ClusterConfig, EstimationCluster
+
+    with EstimationCluster(ClusterConfig(num_shards=4, model_dir="models/")) as cluster:
+        cluster.estimate("selnet-faces", queries, thresholds)
+        print(cluster.stats()["per_shard"])
 """
 
 from .core import (

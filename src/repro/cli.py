@@ -10,7 +10,8 @@ Usage::
     repro models                                # the estimator registry
     repro train selnet --setting face-cos --scale tiny --out models/selnet-faces
     repro estimate models/selnet-faces          # evaluate a saved estimator
-    repro serve-bench models/selnet-faces --requests 2000
+    repro serve-bench models/selnet-faces --requests 2000 --scenario zipfian
+    repro cluster-bench models/selnet-faces --shards 4    # sharded serving tier
 
 (``repro`` is the console script installed by ``setup.py``; ``python -m
 repro`` and ``python -m repro.cli`` are equivalent.)  Each experiment command
@@ -127,8 +128,82 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--cache-size", type=int, default=256)
     bench_parser.add_argument("--curve-points", type=int, default=64)
     bench_parser.add_argument("--max-batch-size", type=int, default=256)
+    bench_parser.add_argument(
+        "--cache-key-decimals",
+        type=int,
+        default=10,
+        help="query-coordinate rounding inside cache keys",
+    )
+    bench_parser.add_argument(
+        "--scenario",
+        default=None,
+        help="traffic scenario (see repro.workloads); default: the legacy hot-set stream",
+    )
+    bench_parser.add_argument(
+        "--pool",
+        choices=("test", "all"),
+        default="test",
+        help="request pool: the test fold or every workload fold",
+    )
     bench_parser.add_argument("--no-cache", action="store_true", help="bypass the curve cache")
     bench_parser.add_argument("--seed", type=int, default=0)
+
+    cluster_parser = subparsers.add_parser(
+        "cluster-bench",
+        help="benchmark the sharded estimation cluster against a saved estimator",
+    )
+    cluster_parser.add_argument("model", help="path to a saved estimator directory")
+    cluster_parser.add_argument("--shards", type=int, default=2, help="number of worker shards")
+    cluster_parser.add_argument(
+        "--backend",
+        choices=("inline", "process"),
+        default="inline",
+        help="inline (in-process shards) or process (one worker process per shard)",
+    )
+    cluster_parser.add_argument(
+        "--replication", type=int, default=1, help="replica set size per (model, query) key"
+    )
+    cluster_parser.add_argument("--requests", type=int, default=2000)
+    cluster_parser.add_argument("--arrival-batch", type=int, default=32)
+    cluster_parser.add_argument(
+        "--scenario", default="zipfian", help="traffic scenario (see repro.workloads)"
+    )
+    cluster_parser.add_argument(
+        "--pool",
+        choices=("test", "all"),
+        default="all",
+        help="request pool: the test fold or every workload fold",
+    )
+    cluster_parser.add_argument(
+        "--cache-size", type=int, default=16, help="curve-cache capacity per shard"
+    )
+    cluster_parser.add_argument("--curve-points", type=int, default=64)
+    cluster_parser.add_argument("--max-batch-size", type=int, default=256)
+    cluster_parser.add_argument(
+        "--cache-key-decimals",
+        type=int,
+        default=10,
+        help="query-coordinate rounding for routing and cache keys",
+    )
+    cluster_parser.add_argument(
+        "--queue-capacity", type=int, default=8, help="bounded per-shard queue size"
+    )
+    cluster_parser.add_argument(
+        "--policy",
+        choices=("block", "shed"),
+        default="block",
+        help="admission control when a shard queue is full",
+    )
+    cluster_parser.add_argument(
+        "--pipeline-depth", type=int, default=4, help="outstanding arrival batches"
+    )
+    cluster_parser.add_argument("--no-cache", action="store_true", help="bypass the curve caches")
+    cluster_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the single-process serve-bench comparison run",
+    )
+    cluster_parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -292,38 +367,124 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
-def _cmd_serve_bench(args) -> int:
-    from .serving import EstimationService, run_serving_benchmark
-
-    model_path = Path(args.model)
+def _bench_split(model_path: Path):
     recorded = _recorded_training(model_path)
     setting = recorded.get("setting")
     scale_name = recorded.get("scale")
     seed = recorded.get("seed", 0)
     if setting is None or scale_name is None:
         raise SystemExit(
-            f"{args.model} does not record its training setting/scale, cannot "
+            f"{model_path} does not record its training setting/scale, cannot "
             "regenerate a request workload"
         )
     _, split = _build_split_for(setting, scale_name, seed)
+    return split
+
+
+def _bench_pool(split, pool: str):
+    """The benchmark's (queries, thresholds) request pool."""
+    import numpy as np
+
+    if pool == "test":
+        return split.test.queries, split.test.thresholds
+    folds = (split.train, split.validation, split.test)
+    return (
+        np.concatenate([fold.queries for fold in folds]),
+        np.concatenate([fold.thresholds for fold in folds]),
+    )
+
+
+def _cmd_serve_bench(args) -> int:
+    from .serving import EstimationService, run_serving_benchmark
+
+    model_path = Path(args.model)
+    split = _bench_split(model_path)
+    queries, thresholds = _bench_pool(split, args.pool)
 
     service = EstimationService(
         model_path.parent,
         cache_capacity=args.cache_size,
         curve_resolution=args.curve_points,
         max_batch_size=args.max_batch_size,
+        cache_key_decimals=args.cache_key_decimals,
     )
     report = run_serving_benchmark(
         service,
         model_path.name,
-        split.test.queries,
-        split.test.thresholds,
+        queries,
+        thresholds,
         num_requests=args.requests,
         arrival_batch=args.arrival_batch,
         use_cache=not args.no_cache,
         seed=args.seed,
+        scenario=args.scenario,
     )
     print(report.text)
+    return 0
+
+
+def _cmd_cluster_bench(args) -> int:
+    from .cluster import ClusterConfig, EstimationCluster, run_cluster_benchmark
+    from .serving import EstimationService, run_serving_benchmark
+
+    model_path = Path(args.model)
+    split = _bench_split(model_path)
+    queries, thresholds = _bench_pool(split, args.pool)
+
+    config = ClusterConfig(
+        num_shards=args.shards,
+        model_dir=model_path.parent,
+        backend=args.backend,
+        replication_factor=args.replication,
+        queue_capacity=args.queue_capacity,
+        overload_policy=args.policy,
+        cache_capacity=args.cache_size,
+        curve_resolution=args.curve_points,
+        max_batch_size=args.max_batch_size,
+        cache_key_decimals=args.cache_key_decimals,
+    )
+    with EstimationCluster(config) as cluster:
+        report = run_cluster_benchmark(
+            cluster,
+            model_path.name,
+            queries,
+            thresholds,
+            num_requests=args.requests,
+            arrival_batch=args.arrival_batch,
+            scenario=args.scenario,
+            use_cache=not args.no_cache,
+            pipeline_depth=args.pipeline_depth,
+            seed=args.seed,
+        )
+    print(report.text)
+
+    if not args.no_baseline:
+        # The same stream against one process with one shard's resources:
+        # the honest single-node comparison for the per-shard settings above.
+        service = EstimationService(
+            model_path.parent,
+            cache_capacity=args.cache_size,
+            curve_resolution=args.curve_points,
+            max_batch_size=args.max_batch_size,
+            cache_key_decimals=args.cache_key_decimals,
+        )
+        baseline = run_serving_benchmark(
+            service,
+            model_path.name,
+            queries,
+            thresholds,
+            num_requests=args.requests,
+            arrival_batch=args.arrival_batch,
+            use_cache=not args.no_cache,
+            seed=args.seed,
+            scenario=args.scenario,
+        )
+        speedup = report.requests_per_second / max(baseline.requests_per_second, 1e-12)
+        print(
+            f"  baseline (1 proc) : {baseline.requests_per_second:>10.1f} requests/s "
+            f"(cache hit rate {100.0 * baseline.cache_hit_rate:.1f} %)"
+        )
+        print(f"  cluster speedup   : {speedup:>10.2f} x over single-process serve-bench")
     return 0
 
 
@@ -359,6 +520,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_estimate(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "cluster-bench":
+        return _cmd_cluster_bench(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2

@@ -1,0 +1,40 @@
+"""Sharded estimation tier: consistent-hash routing over worker shards.
+
+See :class:`EstimationCluster` for the entry point::
+
+    from repro.cluster import ClusterConfig, EstimationCluster
+
+    with EstimationCluster(ClusterConfig(num_shards=4, model_dir="models/",
+                                         backend="process")) as cluster:
+        cluster.estimate("selnet-faces", queries, thresholds)
+        print(cluster.stats()["per_shard"])
+
+``repro cluster-bench`` drives :func:`run_cluster_benchmark` against this
+tier with the scenarios of :mod:`repro.workloads`.
+"""
+
+from .backends import BACKENDS, InlineShardBackend, ProcessShardBackend, ShardFuture
+from .bench import ClusterBenchmarkReport, run_cluster_benchmark
+from .cluster import (
+    OVERLOAD_POLICIES,
+    ClusterConfig,
+    ClusterEstimateFuture,
+    ClusterOverloadedError,
+    EstimationCluster,
+)
+from .router import ShardRouter
+
+__all__ = [
+    "EstimationCluster",
+    "ClusterConfig",
+    "ClusterEstimateFuture",
+    "ClusterOverloadedError",
+    "OVERLOAD_POLICIES",
+    "ShardRouter",
+    "ShardFuture",
+    "InlineShardBackend",
+    "ProcessShardBackend",
+    "BACKENDS",
+    "ClusterBenchmarkReport",
+    "run_cluster_benchmark",
+]

@@ -1,0 +1,176 @@
+"""Cluster benchmark: replay a traffic scenario against the sharded tier.
+
+Drives an :class:`~repro.cluster.EstimationCluster` with the same seeded
+:class:`~repro.workloads.TrafficGenerator` streams used by the
+single-process ``repro serve-bench``, so ``repro cluster-bench`` numbers are
+directly comparable.  The replay is open-loop up to ``pipeline_depth``
+outstanding arrival batches — enough in-flight work to keep every shard's
+queue (and, on the process backend, every worker CPU) busy, which is where
+sharding buys throughput over a single process.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..estimator import UpdateNotSupportedError
+from ..workloads import Scenario, TrafficGenerator, UpdateEvent
+from .cluster import ClusterEstimateFuture, ClusterOverloadedError, EstimationCluster
+
+
+@dataclass
+class ClusterBenchmarkReport:
+    """Results of one traffic-scenario replay against a cluster."""
+
+    model: str
+    scenario: str
+    num_requests: int
+    arrival_batch: int
+    num_shards: int
+    backend: str
+    use_cache: bool
+    elapsed_seconds: float
+    requests_per_second: float
+    p50_batch_latency_ms: float
+    p95_batch_latency_ms: float
+    p99_batch_latency_ms: float
+    shed_requests: int
+    updates_applied: int
+    updates_skipped: int
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        lines = [
+            f"cluster-bench: model={self.model} scenario={self.scenario} "
+            f"requests={self.num_requests} arrival_batch={self.arrival_batch} "
+            f"shards={self.num_shards} backend={self.backend} "
+            f"cache={'on' if self.use_cache else 'off'}",
+            f"  throughput        : {self.requests_per_second:>10.1f} requests/s "
+            f"({self.elapsed_seconds:.3f} s total)",
+            f"  batch latency (ms): p50 {self.p50_batch_latency_ms:.2f}  "
+            f"p95 {self.p95_batch_latency_ms:.2f}  p99 {self.p99_batch_latency_ms:.2f}",
+            f"  shed requests     : {self.shed_requests}",
+            f"  data updates      : {self.updates_applied} applied, "
+            f"{self.updates_skipped} skipped",
+            "  per shard         : "
+            f"{'shard':<6} {'requests':>9} {'hit rate':>9} {'queue max':>10} "
+            f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8}",
+        ]
+        for entry in self.stats.get("per_shard", []):
+            cache = entry.get("cache", {})
+            latency = entry.get("latency", {})
+            lines.append(
+                "                      "
+                f"{entry['shard']:<6} {entry['requests']:>9} "
+                f"{100.0 * cache.get('hit_rate', 0.0):>8.1f}% "
+                f"{entry['max_queue_depth']:>10} "
+                f"{latency.get('p50_ms', 0.0):>8.2f} "
+                f"{latency.get('p95_ms', 0.0):>8.2f} "
+                f"{latency.get('p99_ms', 0.0):>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_cluster_benchmark(
+    cluster: EstimationCluster,
+    model: str,
+    queries: np.ndarray,
+    thresholds: np.ndarray,
+    num_requests: int = 2000,
+    arrival_batch: int = 32,
+    scenario: Union[str, Scenario] = "zipfian",
+    use_cache: bool = True,
+    pipeline_depth: int = 4,
+    seed: int = 0,
+) -> ClusterBenchmarkReport:
+    """Replay one scenario's event stream against the cluster and measure it.
+
+    ``pipeline_depth`` arrival batches are kept outstanding before the
+    oldest is gathered, so shard queues actually fill (exercising admission
+    control) and the process backend overlaps work across shards.  Shed
+    batches (``overload_policy="shed"``) are counted, not retried.
+    """
+    if pipeline_depth < 1:
+        raise ValueError("pipeline_depth must be at least 1")
+    queries = np.asarray(queries, dtype=np.float64)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    generator = TrafficGenerator(
+        scenario, pool_size=len(thresholds), seed=seed, insert_dim=queries.shape[1]
+    )
+    events = generator.materialize(num_requests, arrival_batch)
+
+    supports_updates = True
+    updates_applied = 0
+    updates_skipped = 0
+    shed_requests = 0
+    latencies: List[float] = []
+    outstanding: Deque[Tuple[ClusterEstimateFuture, float]] = deque()
+
+    def _gather_oldest() -> None:
+        future, submitted_at = outstanding.popleft()
+        future.result()
+        latencies.append(1000.0 * (time.perf_counter() - submitted_at))
+
+    start = time.perf_counter()
+    for event in events:
+        if isinstance(event, UpdateEvent):
+            # Updates are a barrier: in-flight reads drain first so the
+            # fan-out invalidation cannot race ahead of older estimates.
+            while outstanding:
+                _gather_oldest()
+            if supports_updates:
+                try:
+                    cluster.update(model, inserts=event.inserts, deletes=event.deletes)
+                    updates_applied += 1
+                except UpdateNotSupportedError:
+                    supports_updates = False
+                    updates_skipped += 1
+            else:
+                updates_skipped += 1
+            continue
+        if len(event) == 0:
+            continue
+        try:
+            future = cluster.submit_estimate(
+                model,
+                queries[event.indices],
+                thresholds[event.indices],
+                use_cache=use_cache,
+            )
+        except ClusterOverloadedError:
+            shed_requests += len(event)
+            continue
+        outstanding.append((future, time.perf_counter()))
+        while len(outstanding) >= pipeline_depth:
+            _gather_oldest()
+    while outstanding:
+        _gather_oldest()
+    elapsed = time.perf_counter() - start
+
+    stats = cluster.stats()
+    latency_array = np.asarray(latencies) if latencies else np.zeros(1)
+    completed = num_requests - shed_requests
+    return ClusterBenchmarkReport(
+        model=model,
+        scenario=generator.scenario.name,
+        num_requests=num_requests,
+        arrival_batch=arrival_batch,
+        num_shards=cluster.num_shards,
+        backend=cluster.config.backend,
+        use_cache=use_cache,
+        elapsed_seconds=elapsed,
+        requests_per_second=completed / elapsed if elapsed > 0 else float("inf"),
+        p50_batch_latency_ms=float(np.percentile(latency_array, 50)),
+        p95_batch_latency_ms=float(np.percentile(latency_array, 95)),
+        p99_batch_latency_ms=float(np.percentile(latency_array, 99)),
+        shed_requests=shed_requests,
+        updates_applied=updates_applied,
+        updates_skipped=updates_skipped,
+        stats=stats,
+    )

@@ -1,0 +1,397 @@
+"""The sharded estimation tier: scatter–gather over per-shard services.
+
+:class:`EstimationCluster` runs ``N`` worker shards (each hosting its own
+:class:`~repro.serving.EstimationService` — see
+:mod:`repro.cluster.backends`), routes every request row with a
+consistent-hash :class:`~repro.cluster.router.ShardRouter` keyed on
+``(model, query)`` so each shard's curve cache stays hot, and enforces
+admission control with bounded per-shard queues:
+
+* ``overload_policy="block"`` — a submission to a full shard first waits
+  for that shard's oldest in-flight work (the default: graceful
+  backpressure);
+* ``overload_policy="shed"`` — a submission to a full shard raises
+  :class:`ClusterOverloadedError` and the rows are counted as shed (load
+  shedding for latency-sensitive callers).
+
+Batched estimation is scatter–gather: a request batch is split by shard,
+each sub-batch is one backend call (micro-batched again inside the worker
+via ``iter_microbatches``), and the results are reassembled in request
+order.  Data updates fan out to *every* shard — each shard owns a full
+replica of each model it serves, so an update must reach all of them, and
+each shard invalidates its own cached curves as part of applying it.
+
+``stats()`` aggregates cluster-level counters with per-shard cache hit
+rate, queue depth and p50/p95/p99 sub-batch latency.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..estimator import SelectivityEstimator
+from ..serving.cache import DEFAULT_KEY_DECIMALS
+from .backends import BACKENDS, ShardFuture
+from .router import ShardRouter
+
+PathLike = Union[str, Path]
+
+OVERLOAD_POLICIES = ("block", "shed")
+
+#: per-shard sliding window of sub-batch latencies kept for percentile stats
+#: (bounded so a long-lived cluster's stats() stays O(1) in memory and time)
+LATENCY_WINDOW = 4096
+
+
+class ClusterOverloadedError(RuntimeError):
+    """Raised under the ``shed`` policy when a shard's queue is full."""
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to stand up an estimation cluster.
+
+    ``cache_capacity`` / ``curve_resolution`` / ``max_batch_size`` /
+    ``cache_key_decimals`` configure each shard's private
+    :class:`~repro.serving.EstimationService`; the rest shape routing and
+    admission control.
+    """
+
+    num_shards: int = 2
+    model_dir: Optional[PathLike] = None
+    backend: str = "inline"
+    replication_factor: int = 1
+    virtual_nodes: int = 64
+    queue_capacity: int = 8
+    overload_policy: str = "block"
+    cache_capacity: int = 256
+    curve_resolution: int = 64
+    max_batch_size: int = 256
+    cache_key_decimals: int = DEFAULT_KEY_DECIMALS
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; available: {sorted(BACKENDS)}")
+        if self.overload_policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"unknown overload_policy {self.overload_policy!r}; "
+                f"available: {OVERLOAD_POLICIES}"
+            )
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+
+
+@dataclass
+class _PendingCall:
+    """One in-flight backend call, for queue accounting and latency."""
+
+    future: ShardFuture
+    rows: int
+    submitted_at: float
+    settled: bool = False
+
+
+class _Shard:
+    """Cluster-side accounting around one backend shard."""
+
+    def __init__(self, shard_id: int, backend) -> None:
+        self.shard_id = shard_id
+        self.backend = backend
+        self.pending: Deque[_PendingCall] = deque()
+        self.requests = 0
+        self.sub_batches = 0
+        self.shed_batches = 0
+        self.shed_requests = 0
+        self.updates = 0
+        self.max_queue_depth = 0
+        self.latencies_ms: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.pending)
+
+    def track(self, future: ShardFuture, rows: int) -> _PendingCall:
+        call = _PendingCall(future=future, rows=rows, submitted_at=time.perf_counter())
+        self.pending.append(call)
+        self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+        return call
+
+    def settle(self, call: _PendingCall) -> Any:
+        """Claim one call's result and release its queue slot (idempotent)."""
+        value = call.future.result()
+        if not call.settled:
+            call.settled = True
+            self.latencies_ms.append(1000.0 * (time.perf_counter() - call.submitted_at))
+            self.pending.remove(call)
+        return value
+
+    def drain_oldest(self) -> None:
+        if self.pending:
+            self.settle(self.pending[0])
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """Percentiles over the sliding window of recent sub-batch latencies."""
+        if not self.latencies_ms:
+            return {"mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+        array = np.asarray(self.latencies_ms)
+        return {
+            "mean_ms": float(array.mean()),
+            "p50_ms": float(np.percentile(array, 50)),
+            "p95_ms": float(np.percentile(array, 95)),
+            "p99_ms": float(np.percentile(array, 99)),
+        }
+
+
+class ClusterEstimateFuture:
+    """Gatherable handle on one scattered estimate batch."""
+
+    def __init__(
+        self,
+        cluster: "EstimationCluster",
+        num_rows: int,
+        parts: List[Tuple[_Shard, np.ndarray, _PendingCall]],
+    ) -> None:
+        self._cluster = cluster
+        self._num_rows = num_rows
+        self._parts = parts
+        self._result: Optional[np.ndarray] = None
+
+    def result(self) -> np.ndarray:
+        """Gather every shard's sub-batch and reassemble in request order."""
+        if self._result is None:
+            results = np.empty(self._num_rows, dtype=np.float64)
+            for shard, positions, call in self._parts:
+                results[positions] = shard.settle(call)
+            self._result = results
+        return self._result
+
+
+class EstimationCluster:
+    """N sharded estimation workers behind one scatter–gather facade."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None, **overrides) -> None:
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a ClusterConfig or keyword overrides, not both")
+        self.config = config
+        self.router = ShardRouter(
+            num_shards=config.num_shards,
+            replication_factor=config.replication_factor,
+            virtual_nodes=config.virtual_nodes,
+            decimals=config.cache_key_decimals,
+        )
+        backend_cls = BACKENDS[config.backend]
+        self._shards = [_Shard(i, backend_cls(config)) for i in range(config.num_shards)]
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "EstimationCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down every shard backend (idempotent)."""
+        if self._closed:
+            return
+        for shard in self._shards:
+            shard.backend.close()
+        self._closed = True
+
+    @property
+    def num_shards(self) -> int:
+        return self.config.num_shards
+
+    def queue_depths(self) -> List[int]:
+        return [shard.queue_depth for shard in self._shards]
+
+    # ------------------------------------------------------------------ #
+    # Admission control
+    # ------------------------------------------------------------------ #
+    def _admit_all(self, groups: List[Tuple["_Shard", np.ndarray]]) -> None:
+        """Enforce every target shard's bounded queue before ANY submission.
+
+        Admission must be all-or-nothing per batch: raising after some
+        sub-batches were already submitted would leave in-flight calls no
+        caller can ever settle, permanently leaking queue slots.  Under
+        ``shed`` the whole batch is refused when any target shard is full
+        (the full shards' counters record the demand they turned away);
+        under ``block`` each full shard first drains its oldest work.
+        """
+        capacity = self.config.queue_capacity
+        if self.config.overload_policy == "shed":
+            full = [
+                (shard, positions)
+                for shard, positions in groups
+                if shard.queue_depth >= capacity
+            ]
+            if full:
+                for shard, positions in full:
+                    shard.shed_batches += 1
+                    shard.shed_requests += len(positions)
+                shard_ids = [shard.shard_id for shard, _ in full]
+                raise ClusterOverloadedError(
+                    f"shard queue(s) {shard_ids} full ({capacity} in flight); "
+                    "request shed"
+                )
+            return
+        for shard, _ in groups:  # block: wait for the oldest work
+            while shard.queue_depth >= capacity:
+                shard.drain_oldest()
+
+    # ------------------------------------------------------------------ #
+    # Model store
+    # ------------------------------------------------------------------ #
+    def add_model(self, name: str, estimator: SelectivityEstimator) -> None:
+        """Attach an in-memory estimator to *every* shard.
+
+        Each shard receives its own unpickled replica, so per-shard state
+        (update fine-tuning, caches) never aliases across shards — exactly
+        the semantics of the process backend, on every backend.
+        """
+        payload = pickle.dumps(estimator, protocol=pickle.HIGHEST_PROTOCOL)
+        for future in [shard.backend.add_model(name, payload) for shard in self._shards]:
+            future.result()
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def submit_estimate(
+        self,
+        model: str,
+        queries: np.ndarray,
+        thresholds: np.ndarray,
+        use_cache: bool = True,
+    ) -> ClusterEstimateFuture:
+        """Scatter one batch by shard; returns a gatherable future.
+
+        Routing is per row on ``(model, query)`` with replica-aware load
+        balancing (current queue depths feed the router), then each shard
+        receives its rows as one backend call.
+        """
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+        queries = np.asarray(queries, dtype=np.float64)
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if queries.size == 0 and thresholds.ndim == 1 and len(thresholds) == 0:
+            return ClusterEstimateFuture(self, 0, [])
+        if queries.ndim != 2 or thresholds.ndim != 1 or len(queries) != len(thresholds):
+            raise ValueError(
+                f"expected aligned (n, dim) queries and (n,) thresholds, got "
+                f"{queries.shape} and {thresholds.shape}"
+            )
+        shard_ids = self.router.route_batch(model, queries, loads=self.queue_depths())
+        groups: List[Tuple[_Shard, np.ndarray]] = [
+            (self._shards[int(shard_id)], np.flatnonzero(shard_ids == shard_id))
+            for shard_id in np.unique(shard_ids)
+        ]
+        self._admit_all(groups)
+        parts: List[Tuple[_Shard, np.ndarray, _PendingCall]] = []
+        for shard, positions in groups:
+            future = shard.backend.estimate(
+                model, queries[positions], thresholds[positions], use_cache
+            )
+            call = shard.track(future, rows=len(positions))
+            shard.requests += len(positions)
+            shard.sub_batches += 1
+            parts.append((shard, positions, call))
+        return ClusterEstimateFuture(self, len(thresholds), parts)
+
+    def estimate(
+        self,
+        model: str,
+        queries: np.ndarray,
+        thresholds: np.ndarray,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """Synchronous scatter–gather estimation (submit + gather)."""
+        return self.submit_estimate(model, queries, thresholds, use_cache=use_cache).result()
+
+    def estimate_one(
+        self, model: str, query: np.ndarray, threshold: float, use_cache: bool = True
+    ) -> float:
+        query = np.asarray(query, dtype=np.float64)
+        result = self.estimate(model, query[None, :], np.asarray([threshold]), use_cache=use_cache)
+        return float(result[0])
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def update(
+        self,
+        model: str,
+        inserts: Optional[np.ndarray] = None,
+        deletes: Optional[Sequence[int]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Fan one data update out to every shard's replica of ``model``.
+
+        Each shard applies the update to its own copy and invalidates its
+        cached curves for the model; the per-shard summaries come back in
+        shard order.  Raises
+        :class:`repro.estimator.UpdateNotSupportedError` (from every shard
+        alike) when the model does not implement the update protocol.
+        """
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+        futures = [
+            (shard, shard.backend.update(model, inserts, deletes)) for shard in self._shards
+        ]
+        summaries = []
+        for shard, future in futures:
+            summary = dict(future.result())
+            summary["shard"] = shard.shard_id
+            shard.updates += 1
+            summaries.append(summary)
+        return summaries
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Aggregated cluster counters plus one entry per shard (JSON-able).
+
+        Per shard: request/sub-batch/shed counts, queue depth (current and
+        high-water), sub-batch latency percentiles and the worker's own
+        service stats (cache hit rate, per-model counters).
+        """
+        per_shard: List[Dict[str, Any]] = []
+        for shard in self._shards:
+            worker = shard.backend.stats().result()
+            per_shard.append(
+                {
+                    "shard": shard.shard_id,
+                    "requests": shard.requests,
+                    "sub_batches": shard.sub_batches,
+                    "shed_batches": shard.shed_batches,
+                    "shed_requests": shard.shed_requests,
+                    "updates": shard.updates,
+                    "queue_depth": shard.queue_depth,
+                    "max_queue_depth": shard.max_queue_depth,
+                    "latency": shard.latency_percentiles(),
+                    "cache": worker.get("cache", {}),
+                    "worker": worker,
+                }
+            )
+        total_requests = sum(entry["requests"] for entry in per_shard)
+        return {
+            "backend": self.config.backend,
+            "router": self.router.describe(),
+            "queue_capacity": self.config.queue_capacity,
+            "overload_policy": self.config.overload_policy,
+            "total_requests": total_requests,
+            "total_sub_batches": sum(entry["sub_batches"] for entry in per_shard),
+            "total_shed_requests": sum(entry["shed_requests"] for entry in per_shard),
+            "total_updates": sum(entry["updates"] for entry in per_shard),
+            "per_shard": per_shard,
+        }

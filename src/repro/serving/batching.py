@@ -32,9 +32,19 @@ def iter_microbatches(
     thresholds: np.ndarray,
     max_batch_size: int,
 ) -> Iterator[MicroBatch]:
-    """Split aligned query / threshold arrays into bounded micro-batches."""
+    """Split aligned query / threshold arrays into bounded micro-batches.
+
+    An empty request batch (zero queries and zero thresholds — whether the
+    queries arrive as ``(0,)`` or ``(0, dim)``) yields no micro-batches
+    instead of tripping the shape validation: serving layers route whatever
+    the traffic generator hands them, and an idle tick is not an error.
+    """
     queries = np.asarray(queries, dtype=np.float64)
     thresholds = np.asarray(thresholds, dtype=np.float64)
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be at least 1")
+    if queries.size == 0 and thresholds.ndim == 1 and len(thresholds) == 0:
+        return
     if queries.ndim != 2:
         raise ValueError(f"queries must be a 2-D array, got shape {queries.shape}")
     if thresholds.ndim != 1 or len(thresholds) != len(queries):
@@ -42,8 +52,6 @@ def iter_microbatches(
             f"thresholds must be 1-D and aligned with queries "
             f"({len(queries)} queries, thresholds shape {thresholds.shape})"
         )
-    if max_batch_size < 1:
-        raise ValueError("max_batch_size must be at least 1")
     for start in range(0, len(queries), max_batch_size):
         stop = min(start + max_batch_size, len(queries))
         yield MicroBatch(

@@ -31,7 +31,14 @@ class CachedCurve:
         return np.interp(np.asarray(thresholds, dtype=np.float64), self.thresholds, self.values)
 
 
-def query_cache_key(model_name: str, query: np.ndarray, decimals: int = 10) -> bytes:
+#: default rounding of query coordinates inside cache keys; overridable per
+#: cache through ``CurveCache(decimals=...)`` / the service configuration
+DEFAULT_KEY_DECIMALS = 10
+
+
+def query_cache_key(
+    model_name: str, query: np.ndarray, decimals: int = DEFAULT_KEY_DECIMALS
+) -> bytes:
     """Stable cache key: model name + the rounded query bytes."""
     rounded = np.round(np.asarray(query, dtype=np.float64), decimals)
     # 0.0 and -0.0 have different byte patterns; normalise so they collide.
@@ -48,10 +55,15 @@ class CurveCache:
         Maximum number of cached curves; the least recently used entry is
         evicted when full.  ``capacity <= 0`` disables caching entirely
         (every ``get`` misses, ``put`` is a no-op).
+    decimals:
+        Rounding applied to query coordinates when building cache keys (see
+        :func:`query_cache_key`).  Lower values make near-duplicate queries
+        share one cached curve at the cost of interpolation accuracy.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, decimals: int = DEFAULT_KEY_DECIMALS) -> None:
         self.capacity = int(capacity)
+        self.decimals = int(decimals)
         self._entries: "OrderedDict[bytes, CachedCurve]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -75,7 +87,7 @@ class CurveCache:
         silently return a wrong estimate, so the caller must rebuild the
         curve over a wider range instead.
         """
-        key = query_cache_key(model_name, query)
+        key = query_cache_key(model_name, query, decimals=self.decimals)
         entry = self._entries.get(key)
         if entry is None or (threshold is not None and threshold > entry.thresholds[-1]):
             self.misses += 1
@@ -87,7 +99,7 @@ class CurveCache:
     def put(self, model_name: str, query: np.ndarray, curve: CachedCurve) -> None:
         if self.capacity <= 0:
             return
-        key = query_cache_key(model_name, query)
+        key = query_cache_key(model_name, query, decimals=self.decimals)
         self._entries[key] = curve
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
@@ -118,6 +130,7 @@ class CurveCache:
         return {
             "size": len(self._entries),
             "capacity": self.capacity,
+            "decimals": self.decimals,
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,

@@ -28,8 +28,9 @@ import numpy as np
 
 from ..estimator import SelectivityEstimator
 from ..persistence import SIDECAR_FILE, load_estimator, read_metadata
+from ..workloads import EstimateEvent, Scenario, TrafficGenerator, UpdateEvent
 from .batching import iter_microbatches
-from .cache import CachedCurve, CurveCache
+from .cache import DEFAULT_KEY_DECIMALS, CachedCurve, CurveCache
 
 PathLike = Union[str, Path]
 
@@ -79,6 +80,10 @@ class EstimationService:
         Number of grid points per cached curve.
     max_batch_size:
         Upper bound on the rows per estimator call (micro-batching).
+    cache_key_decimals:
+        Rounding of query coordinates inside cache keys (see
+        :func:`repro.serving.cache.query_cache_key`); lower values let
+        near-duplicate queries share one cached curve.
     """
 
     def __init__(
@@ -87,13 +92,14 @@ class EstimationService:
         cache_capacity: int = 256,
         curve_resolution: int = 64,
         max_batch_size: int = 256,
+        cache_key_decimals: int = DEFAULT_KEY_DECIMALS,
     ) -> None:
         if curve_resolution < 2:
             raise ValueError("curve_resolution must be at least 2")
         self.model_dir = None if model_dir is None else Path(model_dir)
         self.curve_resolution = int(curve_resolution)
         self.max_batch_size = int(max_batch_size)
-        self.cache = CurveCache(capacity=cache_capacity)
+        self.cache = CurveCache(capacity=cache_capacity, decimals=cache_key_decimals)
         self._estimators: Dict[str, SelectivityEstimator] = {}
         self._metadata: Dict[str, Dict[str, Any]] = {}
         self._stats: Dict[str, ModelStats] = {}
@@ -187,6 +193,8 @@ class EstimationService:
         estimator = self.get(name)
         queries = np.asarray(queries, dtype=np.float64)
         thresholds = np.asarray(thresholds, dtype=np.float64)
+        if queries.size == 0 and thresholds.ndim == 1 and len(thresholds) == 0:
+            return np.empty(0, dtype=np.float64)
         if queries.ndim != 2 or thresholds.ndim != 1 or len(queries) != len(thresholds):
             raise ValueError(
                 f"expected aligned (n, dim) queries and (n,) thresholds, got "
@@ -364,20 +372,34 @@ class ServingBenchmarkReport:
     cache_hit_rate: float
     max_interpolation_error: float
     stats: Dict[str, Any] = field(default_factory=dict)
+    scenario: Optional[str] = None
+    updates_applied: int = 0
+    updates_skipped: int = 0
 
     @property
     def text(self) -> str:
+        scenario = f" scenario={self.scenario}" if self.scenario else ""
         lines = [
             f"serve-bench: model={self.model} requests={self.num_requests} "
-            f"arrival_batch={self.arrival_batch} cache={'on' if self.use_cache else 'off'}",
+            f"arrival_batch={self.arrival_batch} cache={'on' if self.use_cache else 'off'}"
+            f"{scenario}",
             f"  throughput        : {self.requests_per_second:>10.1f} requests/s "
             f"({self.elapsed_seconds:.3f} s total)",
             f"  batch latency (ms): mean {self.mean_batch_latency_ms:.2f}  "
             f"p50 {self.p50_batch_latency_ms:.2f}  p95 {self.p95_batch_latency_ms:.2f}",
             f"  cache hit rate    : {100.0 * self.cache_hit_rate:>6.1f} %",
-            f"  max curve error   : {100.0 * self.max_interpolation_error:>6.2f} % "
-            "(cached-curve vs direct estimate)",
+            (
+                "  max curve error   :    n/a (model changed by mid-stream updates)"
+                if np.isnan(self.max_interpolation_error)
+                else f"  max curve error   : {100.0 * self.max_interpolation_error:>6.2f} % "
+                "(cached-curve vs direct estimate)"
+            ),
         ]
+        if self.updates_applied or self.updates_skipped:
+            lines.append(
+                f"  data updates      : {self.updates_applied} applied, "
+                f"{self.updates_skipped} skipped (model lacks update support)"
+            )
         return "\n".join(lines)
 
 
@@ -392,42 +414,84 @@ def run_serving_benchmark(
     hot_probability: float = 0.7,
     use_cache: bool = True,
     seed: int = 0,
+    scenario: Optional[Union[str, "Scenario"]] = None,
 ) -> ServingBenchmarkReport:
-    """Replay a skewed request stream against the service and measure it.
+    """Replay a request stream against the service and measure it.
 
-    Requests are sampled from the provided (query, threshold) pool with a
-    hot set: ``hot_probability`` of the traffic goes to the
-    ``hot_fraction`` most popular rows — the reuse pattern that makes the
-    selectivity-curve cache pay off.
+    With ``scenario=None`` requests are sampled from the provided
+    (query, threshold) pool with a hot set: ``hot_probability`` of the
+    traffic goes to the ``hot_fraction`` most popular rows — the reuse
+    pattern that makes the selectivity-curve cache pay off.
+
+    Alternatively ``scenario`` names a :mod:`repro.workloads.traffic`
+    scenario (``uniform``, ``zipfian``, ``bursty``, ``update-heavy``,
+    ``drifting``); the seeded :class:`~repro.workloads.TrafficGenerator`
+    then shapes arrivals, popularity and interleaved data updates, and the
+    exact same event stream can be replayed against a sharded cluster for
+    apples-to-apples throughput comparisons.
     """
     queries = np.asarray(queries, dtype=np.float64)
     thresholds = np.asarray(thresholds, dtype=np.float64)
-    rng = np.random.default_rng(seed)
     pool_size = len(thresholds)
-    hot_size = max(int(hot_fraction * pool_size), 1)
 
     # Counters are cumulative per service; remember where this run starts so
     # the report describes exactly this benchmark's traffic even when several
     # benchmarks share one service (e.g. cache-on vs cache-off comparisons).
     counters_before = dict(service.stats()["per_model"].get(model, {}))
 
-    choices = np.where(
-        rng.random(num_requests) < hot_probability,
-        rng.integers(0, hot_size, size=num_requests),
-        rng.integers(0, pool_size, size=num_requests),
-    )
+    scenario_name: Optional[str] = None
+    if scenario is None:
+        # Legacy hot-set stream, kept inline (not expressed as a "hotset"
+        # Scenario) so the exact per-seed RNG draw order — and therefore
+        # every recorded pre-scenario benchmark number — stays bit-stable.
+        rng = np.random.default_rng(seed)
+        hot_size = max(int(hot_fraction * pool_size), 1)
+        choices = np.where(
+            rng.random(num_requests) < hot_probability,
+            rng.integers(0, hot_size, size=num_requests),
+            rng.integers(0, pool_size, size=num_requests),
+        )
+        events: List[Any] = [
+            EstimateEvent(indices=choices[begin : begin + arrival_batch])
+            for begin in range(0, num_requests, arrival_batch)
+        ]
+    else:
+        generator = TrafficGenerator(
+            scenario, pool_size=pool_size, seed=seed, insert_dim=queries.shape[1]
+        )
+        scenario_name = generator.scenario.name
+        events = generator.materialize(num_requests, arrival_batch)
 
+    supports_updates = service.get(model).supports_updates
+    updates_applied = 0
+    updates_skipped = 0
     latencies: List[float] = []
     served = np.empty(num_requests, dtype=np.float64)
+    choice_chunks: List[np.ndarray] = []
+    cursor = 0
     start = time.perf_counter()
-    for begin in range(0, num_requests, arrival_batch):
-        index = choices[begin : begin + arrival_batch]
+    for event in events:
+        if isinstance(event, UpdateEvent):
+            if supports_updates:
+                service.update(model, inserts=event.inserts, deletes=event.deletes)
+                updates_applied += 1
+            else:
+                updates_skipped += 1
+            continue
+        index = event.indices
+        if len(index) == 0:
+            continue
+        choice_chunks.append(index)
         tick = time.perf_counter()
-        served[begin : begin + len(index)] = service.estimate(
+        served[cursor : cursor + len(index)] = service.estimate(
             model, queries[index], thresholds[index], use_cache=use_cache
         )
         latencies.append(1000.0 * (time.perf_counter() - tick))
+        cursor += len(index)
     elapsed = time.perf_counter() - start
+    choices = (
+        np.concatenate(choice_chunks) if choice_chunks else np.empty(0, dtype=np.int64)
+    )
     # Snapshot before the verification pass and subtract the pre-run counters
     # so the embedded stats describe exactly this benchmark's traffic.
     stats_snapshot = service.stats()
@@ -455,14 +519,20 @@ def run_serving_benchmark(
 
     # Accuracy of the cached-curve interpolation against direct evaluation,
     # checked on a sample of the stream (straight through the estimator, so
-    # the verification traffic does not pollute the service stats).
+    # the verification traffic does not pollute the service stats).  Once
+    # mid-stream updates changed the model, early served values reflect the
+    # pre-update state and the comparison would conflate model drift with
+    # interpolation error — reported as NaN ("n/a") instead.
     sample = choices[: min(256, num_requests)]
-    direct = service.get(model).estimate(queries[sample], thresholds[sample])
-    sampled_served = served[: len(sample)]
-    scale = np.maximum(np.abs(direct), 1.0)
-    max_error = float(np.max(np.abs(sampled_served - direct) / scale)) if len(sample) else 0.0
+    if updates_applied or not len(sample):
+        max_error = float("nan") if updates_applied else 0.0
+    else:
+        direct = service.get(model).estimate(queries[sample], thresholds[sample])
+        sampled_served = served[: len(sample)]
+        scale = np.maximum(np.abs(direct), 1.0)
+        max_error = float(np.max(np.abs(sampled_served - direct) / scale))
 
-    latencies_array = np.asarray(latencies)
+    latencies_array = np.asarray(latencies) if latencies else np.zeros(1)
     return ServingBenchmarkReport(
         model=model,
         num_requests=num_requests,
@@ -476,4 +546,7 @@ def run_serving_benchmark(
         cache_hit_rate=float(model_stats.get("cache_hit_rate", 0.0)),
         max_interpolation_error=max_error,
         stats=stats_snapshot,
+        scenario=scenario_name,
+        updates_applied=updates_applied,
+        updates_skipped=updates_skipped,
     )

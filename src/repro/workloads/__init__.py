@@ -1,0 +1,32 @@
+"""Workload shaping: scenario-driven request-traffic generation.
+
+See :class:`TrafficGenerator` for the entry point::
+
+    from repro.workloads import TrafficGenerator
+
+    generator = TrafficGenerator("zipfian", pool_size=len(thresholds), seed=0)
+    for event in generator.batches(num_requests=2000, arrival_batch=32):
+        ...
+"""
+
+from .traffic import (
+    SCENARIOS,
+    EstimateEvent,
+    Scenario,
+    TrafficEvent,
+    TrafficGenerator,
+    UpdateEvent,
+    available_scenarios,
+    make_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "available_scenarios",
+    "make_scenario",
+    "TrafficGenerator",
+    "TrafficEvent",
+    "EstimateEvent",
+    "UpdateEvent",
+]

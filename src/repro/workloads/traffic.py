@@ -1,0 +1,294 @@
+"""Scenario-driven request-traffic generation for serving benchmarks.
+
+A serving benchmark is only as honest as its workload.  This module turns a
+pool of labelled ``(query, threshold)`` rows into a *request stream* shaped
+by a named :class:`Scenario`:
+
+``uniform``
+    Every pool row is equally likely — the cache-hostile baseline.
+``zipfian``
+    Row popularity follows a Zipf law over a seeded permutation of the pool
+    (rank-``k`` probability proportional to ``1 / k**s``), the classic
+    hot-key distribution of user-facing traffic.
+``bursty``
+    Zipfian popularity with a pulsing arrival process: bursts of oversized
+    arrival batches separated by idle (empty) ticks, stressing queues and
+    admission control rather than steady-state throughput.
+``update-heavy``
+    Zipfian reads interleaved with periodic data-update events (insert
+    batches), the answering-queries-under-updates regime.
+``drifting``
+    A hot set that rotates through the pool over time, so yesterday's cached
+    curves steadily stop paying off.
+
+Streams are **deterministic per seed**: the generator owns a single
+``numpy`` RNG and both :func:`repro.serving.run_serving_benchmark` and the
+cluster benchmark replay identical event sequences for the same
+``(scenario, pool size, seed)`` triple — which is what makes single-process
+versus sharded throughput comparisons meaningful.
+
+Events are pool-relative: :class:`EstimateEvent` carries *row indices* into
+the caller's pool (the caller maps them to query/threshold arrays), and
+:class:`UpdateEvent` carries freshly sampled insert vectors plus optional
+delete indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named traffic shape (see the module docstring for the catalogue).
+
+    Parameters
+    ----------
+    popularity:
+        ``"uniform"``, ``"zipfian"`` or ``"hotset"`` row popularity.
+    zipf_exponent:
+        Skew ``s`` of the Zipf law (``popularity="zipfian"``); larger is
+        more skewed.
+    hot_fraction / hot_probability:
+        With ``popularity="hotset"``, the share of the pool forming the hot
+        window and the probability a request lands in it.
+    drift_period:
+        When positive, the hot window's start rotates through the pool every
+        ``drift_period`` arrival batches (``popularity="hotset"`` only).
+    burst_length / burst_idle / burst_multiplier:
+        When ``burst_length > 0``, arrivals pulse: ``burst_length`` batches
+        of ``burst_multiplier`` times the nominal arrival-batch size, then
+        ``burst_idle`` empty ticks.
+    update_every / update_inserts / update_deletes:
+        When ``update_every > 0``, an :class:`UpdateEvent` with
+        ``update_inserts`` sampled insert vectors (and ``update_deletes``
+        delete indices) is emitted every ``update_every`` arrival batches.
+    """
+
+    name: str
+    description: str = ""
+    popularity: str = "uniform"
+    zipf_exponent: float = 1.2
+    hot_fraction: float = 0.1
+    hot_probability: float = 0.7
+    drift_period: int = 0
+    burst_length: int = 0
+    burst_idle: int = 2
+    burst_multiplier: int = 4
+    update_every: int = 0
+    update_inserts: int = 8
+    update_deletes: int = 0
+
+    def with_overrides(self, **overrides) -> "Scenario":
+        """A copy of this scenario with some fields replaced."""
+        return replace(self, **overrides)
+
+
+#: the built-in scenario catalogue, keyed by name
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="uniform",
+            description="uniform row popularity (cache-hostile baseline)",
+        ),
+        Scenario(
+            name="zipfian",
+            description="Zipf hot keys over a seeded pool permutation",
+            popularity="zipfian",
+        ),
+        Scenario(
+            name="bursty",
+            description="zipfian popularity with pulsed arrivals and idle ticks",
+            popularity="zipfian",
+            burst_length=4,
+            burst_idle=2,
+            burst_multiplier=4,
+        ),
+        Scenario(
+            name="update-heavy",
+            description="zipfian reads interleaved with periodic insert batches",
+            popularity="zipfian",
+            update_every=4,
+            update_inserts=8,
+        ),
+        Scenario(
+            name="drifting",
+            description="a hot set that rotates through the pool over time",
+            popularity="hotset",
+            hot_fraction=0.1,
+            hot_probability=0.8,
+            drift_period=8,
+        ),
+    )
+}
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Names of the built-in traffic scenarios."""
+    return tuple(sorted(SCENARIOS))
+
+
+def make_scenario(scenario: Union[str, Scenario], **overrides) -> Scenario:
+    """Resolve a scenario by name (with optional field overrides)."""
+    if isinstance(scenario, Scenario):
+        return scenario.with_overrides(**overrides) if overrides else scenario
+    try:
+        base = SCENARIOS[scenario]
+    except KeyError:
+        raise KeyError(
+            f"unknown traffic scenario {scenario!r}; available: {available_scenarios()}"
+        ) from None
+    return base.with_overrides(**overrides) if overrides else base
+
+
+@dataclass
+class EstimateEvent:
+    """One arrival batch of estimation requests (row indices into the pool)."""
+
+    indices: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass
+class UpdateEvent:
+    """One data-update event: sampled insert vectors and/or delete indices."""
+
+    inserts: Optional[np.ndarray] = None
+    deletes: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        inserts = 0 if self.inserts is None else len(self.inserts)
+        deletes = 0 if self.deletes is None else len(self.deletes)
+        return inserts + deletes
+
+
+TrafficEvent = Union[EstimateEvent, UpdateEvent]
+
+
+class TrafficGenerator:
+    """Deterministic event stream for one scenario over one request pool.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`Scenario` or the name of a built-in one.
+    pool_size:
+        Number of rows in the caller's ``(query, threshold)`` pool that
+        :class:`EstimateEvent` indices refer to.
+    seed:
+        Seeds the single RNG that drives popularity sampling, pool
+        permutation and update-vector synthesis.
+    insert_dim:
+        Dimensionality of sampled insert vectors; required when the scenario
+        emits update events.
+    insert_scale:
+        Standard deviation of the sampled insert vectors.
+    """
+
+    def __init__(
+        self,
+        scenario: Union[str, Scenario],
+        pool_size: int,
+        seed: int = 0,
+        insert_dim: Optional[int] = None,
+        insert_scale: float = 1.0,
+    ) -> None:
+        self.scenario = make_scenario(scenario)
+        if pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
+        if self.scenario.burst_length > 0 and self.scenario.burst_multiplier < 1:
+            raise ValueError("burst_multiplier must be at least 1 for bursty scenarios")
+        if self.scenario.update_every > 0 and insert_dim is None:
+            raise ValueError(
+                f"scenario {self.scenario.name!r} emits update events; pass insert_dim"
+            )
+        self.pool_size = int(pool_size)
+        self.seed = int(seed)
+        self.insert_dim = None if insert_dim is None else int(insert_dim)
+        self.insert_scale = float(insert_scale)
+        self._rng = np.random.default_rng(self.seed)
+        # Zipf popularity is assigned over a seeded permutation so hot keys
+        # are scattered through the pool instead of always being row 0..k.
+        self._permutation = self._rng.permutation(self.pool_size)
+        if self.scenario.popularity == "zipfian":
+            ranks = np.arange(1, self.pool_size + 1, dtype=np.float64)
+            weights = ranks ** (-float(self.scenario.zipf_exponent))
+            self._zipf_cdf = np.cumsum(weights / weights.sum())
+        else:
+            self._zipf_cdf = None
+
+    # ------------------------------------------------------------------ #
+    def _sample_indices(self, size: int, batch_number: int) -> np.ndarray:
+        scenario = self.scenario
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        if scenario.popularity == "uniform":
+            return self._rng.integers(0, self.pool_size, size=size)
+        if scenario.popularity == "zipfian":
+            draws = np.searchsorted(self._zipf_cdf, self._rng.random(size))
+            return self._permutation[np.minimum(draws, self.pool_size - 1)]
+        if scenario.popularity == "hotset":
+            hot_size = max(int(scenario.hot_fraction * self.pool_size), 1)
+            if scenario.drift_period > 0:
+                rotation = (batch_number // scenario.drift_period) * hot_size
+            else:
+                rotation = 0
+            hot = self._rng.integers(0, hot_size, size=size)
+            cold = self._rng.integers(0, self.pool_size, size=size)
+            in_hot = self._rng.random(size) < scenario.hot_probability
+            offsets = np.where(in_hot, (hot + rotation) % self.pool_size, cold)
+            return self._permutation[offsets]
+        raise ValueError(f"unknown popularity model {scenario.popularity!r}")
+
+    def _make_update(self) -> UpdateEvent:
+        scenario = self.scenario
+        inserts = None
+        if scenario.update_inserts > 0:
+            inserts = self.insert_scale * self._rng.standard_normal(
+                (scenario.update_inserts, self.insert_dim)
+            )
+        deletes = None
+        if scenario.update_deletes > 0:
+            deletes = self._rng.integers(0, self.pool_size, size=scenario.update_deletes)
+        return UpdateEvent(inserts=inserts, deletes=deletes)
+
+    # ------------------------------------------------------------------ #
+    def batches(self, num_requests: int, arrival_batch: int) -> Iterator[TrafficEvent]:
+        """Yield events until exactly ``num_requests`` estimate rows were emitted.
+
+        Bursty scenarios modulate the per-tick batch size (including empty
+        idle ticks, emitted as zero-length :class:`EstimateEvent`); all
+        others emit steady ``arrival_batch``-sized batches.  Update events
+        ride between arrival batches at the scenario's cadence.
+        """
+        if num_requests < 0:
+            raise ValueError("num_requests must be non-negative")
+        if arrival_batch < 1:
+            raise ValueError("arrival_batch must be at least 1")
+        scenario = self.scenario
+        emitted = 0
+        batch_number = 0
+        while emitted < num_requests:
+            if scenario.update_every > 0 and batch_number > 0:
+                if batch_number % scenario.update_every == 0:
+                    yield self._make_update()
+            if scenario.burst_length > 0:
+                cycle = scenario.burst_length + scenario.burst_idle
+                in_burst = (batch_number % cycle) < scenario.burst_length
+                size = arrival_batch * scenario.burst_multiplier if in_burst else 0
+            else:
+                size = arrival_batch
+            size = min(size, num_requests - emitted)
+            yield EstimateEvent(indices=self._sample_indices(size, batch_number))
+            emitted += size
+            batch_number += 1
+
+    def materialize(self, num_requests: int, arrival_batch: int) -> List[TrafficEvent]:
+        """The full event list for one run (convenience for benchmarks)."""
+        return list(self.batches(num_requests, arrival_batch))

@@ -1,0 +1,396 @@
+"""Tests for the sharded estimation cluster (router, backends, facade, CLI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import create_estimator
+from repro.cli import main
+from repro.cluster import (
+    ClusterConfig,
+    ClusterOverloadedError,
+    EstimationCluster,
+    ShardRouter,
+    run_cluster_benchmark,
+)
+from repro.estimator import UpdateNotSupportedError
+
+
+@pytest.fixture(scope="module")
+def kde_model_dir(tiny_cosine_split, tmp_path_factory):
+    """One fitted KDE saved under a model directory, for disk-backed shards."""
+    directory = tmp_path_factory.mktemp("cluster-models")
+    kde = create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+    kde.save(directory / "kde", metadata={"setting": "face-cos", "scale": "tiny", "seed": 0})
+    return directory
+
+
+@pytest.fixture(scope="module")
+def fitted_kde(tiny_cosine_split):
+    return create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+
+
+class TestShardRouter:
+    def test_same_key_same_shard_deterministically(self, rng):
+        """Acceptance: routing is a pure function of (model, query) per seed."""
+        queries = rng.standard_normal((64, 6))
+        first = ShardRouter(num_shards=4)
+        second = ShardRouter(num_shards=4)  # a fresh ring, e.g. another process
+        for i in range(len(queries)):
+            assert first.route("m", queries[i]) == second.route("m", queries[i])
+        np.testing.assert_array_equal(
+            first.route_batch("m", queries), second.route_batch("m", queries)
+        )
+
+    def test_distinct_models_route_independently(self, rng):
+        queries = rng.standard_normal((200, 5))
+        router = ShardRouter(num_shards=4)
+        a = router.route_batch("model-a", queries)
+        b = router.route_batch("model-b", queries)
+        assert not np.array_equal(a, b)
+
+    def test_all_shards_receive_keys(self, rng):
+        router = ShardRouter(num_shards=5)
+        shard_ids = router.route_batch("m", rng.standard_normal((500, 4)))
+        assert set(shard_ids.tolist()) == set(range(5))
+
+    def test_adding_a_shard_remaps_few_keys(self, rng):
+        queries = rng.standard_normal((600, 4))
+        before = ShardRouter(num_shards=4).route_batch("m", queries)
+        after = ShardRouter(num_shards=5).route_batch("m", queries)
+        moved = np.mean(before != after)
+        # Consistent hashing moves ~1/5 of the keys; mod-N would move ~4/5.
+        assert moved < 0.5
+
+    def test_replica_sets_are_distinct_and_ordered(self, rng):
+        router = ShardRouter(num_shards=4, replication_factor=3)
+        for query in rng.standard_normal((32, 4)):
+            replicas = router.replicas("m", query)
+            assert len(replicas) == 3 and len(set(replicas)) == 3
+            assert router.route("m", query) == replicas[0]
+
+    def test_load_aware_routing_prefers_idle_replicas(self, rng):
+        router = ShardRouter(num_shards=3, replication_factor=2)
+        query = rng.standard_normal(4)
+        primary, secondary = router.replicas("m", query)
+        loads = [0.0, 0.0, 0.0]
+        assert router.route("m", query, loads=loads) == primary
+        loads[primary] = 10.0
+        assert router.route("m", query, loads=loads) == secondary
+
+    def test_router_matches_cache_key_rounding(self, rng):
+        router = ShardRouter(num_shards=4, decimals=2)
+        query = rng.standard_normal(5)
+        nearby = query + 1e-6
+        assert router.route("m", query) == router.route("m", nearby)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=0)
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=2, replication_factor=3)
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=2, virtual_nodes=0)
+
+
+class TestEstimationCluster:
+    def test_scatter_gather_matches_direct_estimates(self, tiny_cosine_split, fitted_kde):
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        with EstimationCluster(ClusterConfig(num_shards=3)) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            served = cluster.estimate("kde", queries, thresholds, use_cache=False)
+            np.testing.assert_array_equal(served, fitted_kde.estimate(queries, thresholds))
+
+    def test_empty_batch(self, fitted_kde):
+        with EstimationCluster(ClusterConfig(num_shards=2)) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            result = cluster.estimate("kde", np.empty((0, 10)), np.empty(0))
+            assert result.shape == (0,)
+
+    def test_cached_traffic_spreads_and_hits(self, tiny_cosine_split, fitted_kde):
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        with EstimationCluster(ClusterConfig(num_shards=3)) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            cluster.estimate("kde", queries, thresholds)
+            cluster.estimate("kde", queries, thresholds)
+            stats = cluster.stats()
+            assert stats["total_requests"] == 2 * len(thresholds)
+            active = [entry for entry in stats["per_shard"] if entry["requests"]]
+            assert len(active) > 1, "consistent hashing should use several shards"
+            for entry in active:
+                assert entry["cache"]["hit_rate"] > 0.0
+                assert {"p50_ms", "p95_ms", "p99_ms"} <= set(entry["latency"])
+
+    def test_disk_backed_shards_load_models_lazily(self, kde_model_dir, tiny_cosine_split):
+        queries = tiny_cosine_split.test.queries[:8]
+        thresholds = tiny_cosine_split.test.thresholds[:8]
+        with EstimationCluster(
+            ClusterConfig(num_shards=2, model_dir=kde_model_dir)
+        ) as cluster:
+            served = cluster.estimate("kde", queries, thresholds, use_cache=False)
+            assert served.shape == (8,)
+
+    def test_shed_policy_bounds_the_queue(self, tiny_cosine_split, fitted_kde):
+        queries = tiny_cosine_split.test.queries[:4]
+        thresholds = tiny_cosine_split.test.thresholds[:4]
+        config = ClusterConfig(num_shards=1, queue_capacity=2, overload_policy="shed")
+        with EstimationCluster(config) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            pending = [cluster.submit_estimate("kde", queries, thresholds) for _ in range(2)]
+            with pytest.raises(ClusterOverloadedError):
+                cluster.submit_estimate("kde", queries, thresholds)
+            stats = cluster.stats()
+            assert stats["total_shed_requests"] == len(thresholds)
+            assert stats["per_shard"][0]["queue_depth"] == 2
+            for future in pending:  # shed full queue drains normally
+                assert future.result().shape == thresholds.shape
+            assert cluster.queue_depths() == [0]
+
+    def test_shed_on_partial_scatter_leaks_no_queue_slots(
+        self, tiny_cosine_split, fitted_kde
+    ):
+        """A shed spanning several shards must not strand in-flight slots."""
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        config = ClusterConfig(num_shards=2, queue_capacity=1, overload_policy="shed")
+        with EstimationCluster(config) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            # The full pool routes rows to both shards (checked below), so the
+            # first submission occupies both queues...
+            first = cluster.submit_estimate("kde", queries, thresholds)
+            assert cluster.queue_depths() == [1, 1]
+            # ...and the second is refused atomically: nothing submitted, no
+            # slot consumed beyond the ones the first request legitimately holds.
+            with pytest.raises(ClusterOverloadedError):
+                cluster.submit_estimate("kde", queries, thresholds)
+            assert cluster.queue_depths() == [1, 1]
+            first.result()
+            assert cluster.queue_depths() == [0, 0]
+            # An idle cluster accepts work again — the regression was a
+            # permanently stranded slot after a partial scatter was shed.
+            assert cluster.estimate("kde", queries, thresholds).shape == thresholds.shape
+            assert cluster.queue_depths() == [0, 0]
+
+    def test_block_policy_drains_the_oldest_work(self, tiny_cosine_split, fitted_kde):
+        queries = tiny_cosine_split.test.queries[:4]
+        thresholds = tiny_cosine_split.test.thresholds[:4]
+        config = ClusterConfig(num_shards=1, queue_capacity=2, overload_policy="block")
+        with EstimationCluster(config) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            futures = [cluster.submit_estimate("kde", queries, thresholds) for _ in range(5)]
+            stats = cluster.stats()
+            assert stats["total_shed_requests"] == 0
+            assert stats["per_shard"][0]["max_queue_depth"] == 2
+            for future in futures:
+                assert future.result().shape == thresholds.shape
+
+    def test_update_fans_out_and_invalidates_every_shard(
+        self, tiny_cosine_split, fast_selnet_config
+    ):
+        """Acceptance: one update reaches every shard's replica and cache."""
+        from dataclasses import asdict
+
+        params = asdict(fast_selnet_config)
+        params.update(epochs=2, update_max_epochs=1, update_mae_drift_threshold=1e9)
+        incremental = create_estimator("selnet-inc", **params).fit(tiny_cosine_split)
+
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        with EstimationCluster(ClusterConfig(num_shards=2)) as cluster:
+            cluster.add_model("inc", incremental)
+            cluster.estimate("inc", queries, thresholds)
+            sizes_before = [
+                entry["worker"]["cache"]["size"] for entry in cluster.stats()["per_shard"]
+            ]
+            assert all(size > 0 for size in sizes_before), "both shards should cache curves"
+
+            summaries = cluster.update("inc", inserts=np.zeros((2, 10)))
+            assert [summary["shard"] for summary in summaries] == [0, 1]
+            stats = cluster.stats()
+            assert stats["total_updates"] == 2
+            for entry in stats["per_shard"]:
+                assert entry["updates"] == 1
+                assert entry["worker"]["cache"]["size"] == 0, "update must drop cached curves"
+
+        # The original in-memory estimator was never aliased into the shards:
+        # fanning out the update must not have touched it.
+        assert incremental.reports == []
+
+    def test_update_unsupported_raises(self, fitted_kde):
+        with EstimationCluster(ClusterConfig(num_shards=2)) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            with pytest.raises(UpdateNotSupportedError):
+                cluster.update("kde", inserts=np.zeros((1, 10)))
+
+    def test_closed_cluster_rejects_work(self, fitted_kde):
+        cluster = EstimationCluster(ClusterConfig(num_shards=1))
+        cluster.add_model("kde", fitted_kde)
+        cluster.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.estimate("kde", np.zeros((1, 10)), np.zeros(1))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_shards=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(backend="thread")
+        with pytest.raises(ValueError):
+            ClusterConfig(overload_policy="drop")
+        with pytest.raises(ValueError):
+            ClusterConfig(queue_capacity=0)
+        with pytest.raises(TypeError):
+            EstimationCluster(ClusterConfig(), num_shards=3)
+
+
+class TestProcessBackend:
+    def test_process_shards_match_direct_estimates(self, kde_model_dir, tiny_cosine_split):
+        queries = tiny_cosine_split.test.queries[:12]
+        thresholds = tiny_cosine_split.test.thresholds[:12]
+        direct = create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+        with EstimationCluster(
+            ClusterConfig(num_shards=2, model_dir=kde_model_dir, backend="process")
+        ) as cluster:
+            served = cluster.estimate("kde", queries, thresholds, use_cache=False)
+            np.testing.assert_array_equal(served, direct.estimate(queries, thresholds))
+            stats = cluster.stats()
+            assert stats["backend"] == "process"
+            assert stats["total_requests"] == 12
+
+
+class TestClusterBenchmark:
+    def test_benchmark_reports_required_metrics(self, kde_model_dir, tiny_cosine_split):
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        with EstimationCluster(
+            ClusterConfig(num_shards=2, model_dir=kde_model_dir, cache_capacity=8)
+        ) as cluster:
+            report = run_cluster_benchmark(
+                cluster,
+                "kde",
+                queries,
+                thresholds,
+                num_requests=300,
+                arrival_batch=16,
+                scenario="zipfian",
+                seed=1,
+            )
+        assert report.num_requests == 300
+        assert report.requests_per_second > 0
+        assert report.p50_batch_latency_ms <= report.p95_batch_latency_ms
+        assert report.p95_batch_latency_ms <= report.p99_batch_latency_ms
+        for entry in report.stats["per_shard"]:
+            assert "hit_rate" in entry["cache"]
+            assert "max_queue_depth" in entry
+        text = report.text
+        assert "hit rate" in text and "queue max" in text and "p99 ms" in text
+
+    def test_partitioned_caches_beat_one_process(self, kde_model_dir, tiny_cosine_split):
+        """Acceptance: ≥2 shards outperform single-process serve-bench on zipfian.
+
+        The per-worker cache is sized below the zipfian working set, so the
+        sharded tier's aggregate (partitioned) cache yields a strictly higher
+        hit rate — deterministic for a seeded stream — and the saved curve
+        rebuilds show up as throughput.
+        """
+        from repro.serving import EstimationService, run_serving_benchmark
+
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        capacity = 2
+        service = EstimationService(kde_model_dir, cache_capacity=capacity)
+        baseline = run_serving_benchmark(
+            service,
+            "kde",
+            queries,
+            thresholds,
+            num_requests=800,
+            arrival_batch=32,
+            scenario="zipfian",
+            seed=1,
+        )
+        with EstimationCluster(
+            ClusterConfig(num_shards=4, model_dir=kde_model_dir, cache_capacity=capacity)
+        ) as cluster:
+            report = run_cluster_benchmark(
+                cluster,
+                "kde",
+                queries,
+                thresholds,
+                num_requests=800,
+                arrival_batch=32,
+                scenario="zipfian",
+                seed=1,
+            )
+        hits = sum(entry["cache"]["hits"] for entry in report.stats["per_shard"])
+        misses = sum(entry["cache"]["misses"] for entry in report.stats["per_shard"])
+        cluster_hit_rate = hits / (hits + misses)
+        assert cluster_hit_rate > baseline.cache_hit_rate
+        assert report.requests_per_second > baseline.requests_per_second
+
+    def test_update_heavy_scenario_applies_updates(
+        self, tiny_cosine_split, fast_selnet_config
+    ):
+        from dataclasses import asdict
+
+        params = asdict(fast_selnet_config)
+        params.update(epochs=2, update_max_epochs=1, update_mae_drift_threshold=1e9)
+        incremental = create_estimator("selnet-inc", **params).fit(tiny_cosine_split)
+        with EstimationCluster(ClusterConfig(num_shards=2)) as cluster:
+            cluster.add_model("inc", incremental)
+            report = run_cluster_benchmark(
+                cluster,
+                "inc",
+                tiny_cosine_split.test.queries,
+                tiny_cosine_split.test.thresholds,
+                num_requests=200,
+                arrival_batch=16,
+                scenario="update-heavy",
+                seed=0,
+            )
+        assert report.updates_applied > 0
+        assert report.updates_skipped == 0
+
+
+class TestClusterCLI:
+    def test_cluster_bench_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "kde-tiny"
+        assert (
+            main(
+                [
+                    "train",
+                    "kde",
+                    "--setting",
+                    "face-cos",
+                    "--scale",
+                    "tiny",
+                    "--out",
+                    str(out_dir),
+                    "--param",
+                    "num_samples=64",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "cluster-bench",
+                str(out_dir),
+                "--shards",
+                "2",
+                "--requests",
+                "200",
+                "--cache-size",
+                "4",
+                "--seed",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "cluster-bench" in out and "shards=2" in out
+        assert "hit rate" in out and "queue max" in out and "p99 ms" in out
+        assert "cluster speedup" in out and "baseline (1 proc)" in out

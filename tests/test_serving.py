@@ -43,10 +43,46 @@ class TestCurveCache:
         assert stats["evictions"] == 1 and stats["size"] == 2
         assert 0.0 < stats["hit_rate"] < 1.0
 
-    def test_zero_capacity_disables_cache(self):
-        cache = CurveCache(capacity=0)
-        cache.put("m", np.zeros(2), CachedCurve(np.array([0.0, 1.0]), np.array([0.0, 1.0])))
+    @pytest.mark.parametrize("capacity", [0, -1, -8])
+    def test_nonpositive_capacity_disables_cache(self, capacity):
+        cache = CurveCache(capacity=capacity)
+        curve = CachedCurve(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        for i in range(3):
+            cache.put("m", np.full(2, float(i)), curve)
+        assert len(cache) == 0
         assert cache.get("m", np.zeros(2)) is None
+        stats = cache.stats()
+        assert stats["size"] == 0 and stats["evictions"] == 0
+        assert stats["hits"] == 0 and stats["misses"] == 1
+
+    def test_lru_order_under_mixed_get_put_traffic(self):
+        cache = CurveCache(capacity=3)
+        grid = np.array([0.0, 1.0])
+        queries = [np.full(2, float(i)) for i in range(4)]
+        for query in queries[:3]:
+            cache.put("m", query, CachedCurve(grid, grid))
+        # Touch 0 (get) and re-put 1: recency is now [2, 0, 1] oldest-first.
+        assert cache.get("m", queries[0]) is not None
+        cache.put("m", queries[1], CachedCurve(grid, grid * 3.0))
+        cache.put("m", queries[3], CachedCurve(grid, grid))  # evicts 2, not 0 or 1
+        assert cache.get("m", queries[2]) is None
+        assert cache.get("m", queries[0]) is not None
+        entry = cache.get("m", queries[1])
+        assert entry is not None and entry(1.0) == pytest.approx(3.0)  # re-put value won
+        cache.put("m", np.full(2, 9.0), CachedCurve(grid, grid))  # now 3 is the oldest
+        assert cache.get("m", queries[3]) is None
+        assert cache.stats()["evictions"] == 2
+
+    def test_configurable_key_decimals(self):
+        curve = CachedCurve(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        coarse = CurveCache(capacity=8, decimals=2)
+        coarse.put("m", np.array([0.12345, 1.0]), curve)
+        assert coarse.get("m", np.array([0.12001, 1.0])) is not None  # rounds to 0.12
+        assert coarse.get("m", np.array([0.13, 1.0])) is None
+        precise = CurveCache(capacity=8)  # default 10 decimals keeps them apart
+        precise.put("m", np.array([0.12345, 1.0]), curve)
+        assert precise.get("m", np.array([0.12001, 1.0])) is None
+        assert coarse.stats()["decimals"] == 2
 
     def test_invalidate_per_model(self):
         cache = CurveCache(capacity=8)
@@ -76,6 +112,12 @@ class TestMicroBatching:
             list(iter_microbatches(np.zeros(3), np.zeros(3), 2))
         with pytest.raises(ValueError):
             list(iter_microbatches(np.zeros((3, 2)), np.zeros(4), 2))
+        with pytest.raises(ValueError):
+            list(iter_microbatches(np.zeros((3, 2)), np.zeros(3), 0))
+
+    @pytest.mark.parametrize("queries", [np.empty((0, 5)), np.empty(0), []])
+    def test_iter_microbatches_accepts_empty_batches(self, queries):
+        assert list(iter_microbatches(queries, np.empty(0), 4)) == []
 
     def test_microbatcher_flushes_in_submission_order(self):
         calls = []
@@ -140,6 +182,26 @@ class TestEstimationService:
         direct = service.estimate("gbdt", queries, thresholds, use_cache=False)
         scale = np.maximum(np.abs(direct), 1.0)
         assert np.max(np.abs(cached - direct) / scale) < 0.25
+
+    @pytest.mark.parametrize("use_cache", [True, False])
+    def test_empty_request_batch_returns_empty(self, model_dir, use_cache):
+        service = EstimationService(model_dir)
+        for queries in (np.empty((0, 10)), np.empty(0), []):
+            result = service.estimate("kde", queries, np.empty(0), use_cache=use_cache)
+            assert result.shape == (0,) and result.dtype == np.float64
+        # stats stay untouched by idle ticks
+        assert service.stats()["per_model"]["kde"]["requests"] == 0
+
+    def test_service_cache_key_decimals_config(self, model_dir, tiny_cosine_split):
+        service = EstimationService(model_dir, cache_key_decimals=2)
+        assert service.cache.decimals == 2
+        query = tiny_cosine_split.test.queries[:1]
+        threshold = tiny_cosine_split.test.thresholds[:1]
+        service.estimate("kde", query, threshold)
+        # A perturbation below the rounding quantum reuses the cached curve.
+        service.estimate("kde", query + 1e-6, threshold)
+        stats = service.stats()["per_model"]["kde"]
+        assert stats["curve_builds"] == 1 and stats["cache_hits"] == 1
 
     def test_in_memory_models_and_curves(self, model_dir, tiny_cosine_split):
         service = EstimationService()

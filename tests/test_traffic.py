@@ -1,0 +1,154 @@
+"""Tests for the scenario-driven traffic generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    SCENARIOS,
+    EstimateEvent,
+    Scenario,
+    TrafficGenerator,
+    UpdateEvent,
+    available_scenarios,
+    make_scenario,
+)
+
+POOL = 200
+
+
+def _estimate_indices(events):
+    chunks = [e.indices for e in events if isinstance(e, EstimateEvent) and len(e)]
+    return np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+
+
+class TestScenarioCatalogue:
+    def test_builtins_present(self):
+        assert {"uniform", "zipfian", "bursty", "update-heavy", "drifting"} <= set(
+            available_scenarios()
+        )
+
+    def test_make_scenario_by_name_and_overrides(self):
+        scenario = make_scenario("zipfian", zipf_exponent=2.0)
+        assert scenario.popularity == "zipfian" and scenario.zipf_exponent == 2.0
+        # the catalogue entry itself is untouched
+        assert SCENARIOS["zipfian"].zipf_exponent != 2.0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown traffic scenario"):
+            make_scenario("nope")
+
+    def test_scenario_instance_passthrough(self):
+        custom = Scenario(name="custom", popularity="uniform")
+        assert make_scenario(custom) is custom
+
+
+class TestTrafficGenerator:
+    def test_emits_exactly_num_requests(self):
+        for name in available_scenarios():
+            generator = TrafficGenerator(name, pool_size=POOL, seed=0, insert_dim=4)
+            events = generator.materialize(333, arrival_batch=32)
+            indices = _estimate_indices(events)
+            assert len(indices) == 333, name
+            assert indices.min() >= 0 and indices.max() < POOL, name
+
+    def test_deterministic_per_seed(self):
+        for name in available_scenarios():
+            first = TrafficGenerator(name, POOL, seed=7, insert_dim=4).materialize(200, 16)
+            second = TrafficGenerator(name, POOL, seed=7, insert_dim=4).materialize(200, 16)
+            np.testing.assert_array_equal(_estimate_indices(first), _estimate_indices(second))
+
+    def test_seeds_differ(self):
+        a = _estimate_indices(TrafficGenerator("zipfian", POOL, seed=1).materialize(200, 16))
+        b = _estimate_indices(TrafficGenerator("zipfian", POOL, seed=2).materialize(200, 16))
+        assert not np.array_equal(a, b)
+
+    def test_zipfian_is_skewed(self):
+        uniform = _estimate_indices(TrafficGenerator("uniform", POOL, seed=3).materialize(2000, 50))
+        zipfian = _estimate_indices(TrafficGenerator("zipfian", POOL, seed=3).materialize(2000, 50))
+        top_uniform = np.bincount(uniform, minlength=POOL).max()
+        top_zipfian = np.bincount(zipfian, minlength=POOL).max()
+        assert top_zipfian > 3 * top_uniform
+
+    def test_bursty_pulses_and_idles(self):
+        generator = TrafficGenerator("bursty", POOL, seed=0)
+        events = generator.materialize(500, arrival_batch=16)
+        sizes = [len(e) for e in events if isinstance(e, EstimateEvent)]
+        scenario = SCENARIOS["bursty"]
+        assert 0 in sizes  # idle ticks
+        assert max(sizes) == 16 * scenario.burst_multiplier
+        assert sum(sizes) == 500
+
+    def test_update_heavy_interleaves_updates(self):
+        generator = TrafficGenerator("update-heavy", POOL, seed=0, insert_dim=6)
+        events = generator.materialize(640, arrival_batch=32)
+        updates = [e for e in events if isinstance(e, UpdateEvent)]
+        assert updates, "update-heavy must emit update events"
+        for update in updates:
+            assert update.inserts.shape == (SCENARIOS["update-heavy"].update_inserts, 6)
+
+    def test_update_scenario_requires_insert_dim(self):
+        with pytest.raises(ValueError, match="insert_dim"):
+            TrafficGenerator("update-heavy", POOL, seed=0)
+
+    def test_drifting_hot_set_moves(self):
+        generator = TrafficGenerator("drifting", POOL, seed=0)
+        events = [e for e in generator.materialize(4000, 25) if isinstance(e, EstimateEvent)]
+        early = np.concatenate([e.indices for e in events[:8]])
+        late = np.concatenate([e.indices for e in events[-8:]])
+        early_hot = set(np.bincount(early, minlength=POOL).argsort()[-5:])
+        late_hot = set(np.bincount(late, minlength=POOL).argsort()[-5:])
+        assert early_hot != late_hot
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator("uniform", pool_size=0)
+        generator = TrafficGenerator("uniform", POOL)
+        with pytest.raises(ValueError):
+            generator.materialize(100, arrival_batch=0)
+        with pytest.raises(ValueError):
+            generator.materialize(-1, arrival_batch=8)
+
+
+class TestServingBenchmarkScenarios:
+    def test_serve_bench_accepts_scenarios(self, tiny_cosine_split):
+        from repro import create_estimator
+        from repro.serving import EstimationService, run_serving_benchmark
+
+        service = EstimationService(cache_capacity=32)
+        kde = create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+        service.add_model("kde", kde)
+        report = run_serving_benchmark(
+            service,
+            "kde",
+            tiny_cosine_split.test.queries,
+            tiny_cosine_split.test.thresholds,
+            num_requests=150,
+            arrival_batch=16,
+            scenario="bursty",
+            seed=2,
+        )
+        assert report.scenario == "bursty"
+        assert report.num_requests == 150
+        assert "scenario=bursty" in report.text
+
+    def test_serve_bench_skips_updates_without_support(self, tiny_cosine_split):
+        from repro import create_estimator
+        from repro.serving import EstimationService, run_serving_benchmark
+
+        service = EstimationService()
+        kde = create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+        service.add_model("kde", kde)
+        report = run_serving_benchmark(
+            service,
+            "kde",
+            tiny_cosine_split.test.queries,
+            tiny_cosine_split.test.thresholds,
+            num_requests=200,
+            arrival_batch=16,
+            scenario="update-heavy",
+            seed=0,
+        )
+        assert report.updates_skipped > 0 and report.updates_applied == 0
+        assert "skipped" in report.text
