@@ -1,0 +1,81 @@
+"""Inference-path benchmark — compiled pure-NumPy kernels vs the autodiff graph.
+
+Unlike the table/figure benchmarks this one tracks the repo's own serving
+hot path (ROADMAP: "as fast as the hardware allows"): it fits small SelNet
+variants plus a baseline, then measures ``estimator.compiled().predict``
+against the graph-mode forward across batch sizes, asserting that
+
+* compiled and graph answers agree (the compiled path is a pure
+  optimisation, not an approximation), and
+* the compiled path is faster where it matters — single-query latency and
+  large-batch throughput for the SelNet family.
+
+The measured table is written to ``benchmarks/results/`` and, when run via
+``repro infer-bench``, to ``BENCH_inference.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro import create_estimator
+from repro.data import build_workload_split, make_dataset
+from repro.inference import run_inference_benchmark
+
+#: quick-to-fit configurations, large enough to exercise the fused kernels
+FAST_SELNET = dict(
+    epochs=2,
+    pretrain_epochs=1,
+    ae_pretrain_epochs=1,
+    batch_size=128,
+    early_stopping_patience=None,
+    seed=0,
+)
+
+BATCH_SIZES = (1, 16, 256, 2048)
+
+
+def _fitted_estimators():
+    dataset = make_dataset("face_like", num_vectors=800, dim=10, num_clusters=12, seed=5)
+    split = build_workload_split(
+        dataset, "cosine", num_queries=60, thresholds_per_query=10, seed=3
+    )
+    estimators = {
+        "selnet-ct": create_estimator("selnet-ct", **FAST_SELNET).fit(split),
+        "selnet": create_estimator("selnet", num_partitions=3, **FAST_SELNET).fit(split),
+        "kde": create_estimator("kde", num_samples=64, seed=0).fit(split),
+    }
+    return estimators, split
+
+
+def test_inference_compiled_vs_graph(save_result, benchmark):
+    estimators, split = _fitted_estimators()
+
+    def run():
+        return run_inference_benchmark(
+            estimators,
+            split.test.queries,
+            split.test.thresholds,
+            batch_sizes=BATCH_SIZES,
+            repeats=15,
+            warmup=2,
+            seed=0,
+        )
+
+    report = run_once(benchmark, run)
+    save_result("inference_compiled_vs_graph", report.text)
+
+    # The compiled path must be an exact optimisation, never an approximation.
+    assert report.max_deviation() <= 1e-12
+
+    # Structural speedup claims from the ISSUE: single-query and batch wins
+    # for the SelNet family (KDE goes through the fallback, speedup ~1).
+    assert report.speedup_for("selnet-ct", batch_size=1) >= 3.0
+    assert report.speedup_for("selnet-ct") >= 2.0
+    batch_speedups = [
+        row.speedup
+        for row in report.rows
+        if row.estimator in ("selnet-ct", "selnet") and row.batch_size >= 256
+    ]
+    assert max(batch_speedups) >= 1.5, "compiled batch path should beat the graph"

@@ -10,13 +10,20 @@ from .functional import (
     norm_l2_squared,
     piecewise_linear,
     prefix_sum_matrix,
+    segment_upper_indices,
     softmax,
 )
+from .grad_mode import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
 from .gradcheck import check_gradients, numerical_gradient
 from .tensor import Tensor, concat, maximum, minimum, stack, unbroadcast, where
 
 __all__ = [
     "Tensor",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "segment_upper_indices",
     "concat",
     "stack",
     "where",

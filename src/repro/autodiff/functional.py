@@ -113,6 +113,22 @@ def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Gene
     return Tensor._make(out_data, (x,), backward_fn, name="dropout")
 
 
+def segment_upper_indices(tau: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Batched segment lookup for per-row sorted grids.
+
+    For each row ``i`` returns the index of the first ``tau[i, j] >= t[i]``
+    (i.e. ``np.searchsorted(tau[i], t[i], side="left")``), clipped into
+    ``[1, num_points - 1]`` so ``(index - 1, index)`` always brackets a valid
+    segment.  One vectorised comparison over the whole batch replaces the
+    per-row ``np.searchsorted`` Python loop — for row-sorted grids counting
+    the entries strictly below ``t`` is exactly the ``side="left"`` insertion
+    point.  Shared by the differentiable op below and the compiled inference
+    kernels (:mod:`repro.inference`).
+    """
+    upper = np.count_nonzero(tau < t[:, None], axis=1)
+    return np.clip(upper, 1, tau.shape[1] - 1)
+
+
 def piecewise_linear(
     tau: Tensor,
     p: Tensor,
@@ -162,13 +178,11 @@ def piecewise_linear(
     # return the final control value (and never index out of bounds).
     t_clamped = np.clip(t_data, tau_data[:, 0], tau_data[:, -1])
 
-    # For each row find the segment [tau_{i-1}, tau_i) containing t.
+    # For each row find the segment [tau_{i-1}, tau_i) containing t: a single
+    # batched lookup (index of the first tau >= t, the right end of the
+    # segment) instead of one np.searchsorted call per row.
     rows = np.arange(batch)
-    # searchsorted per row: index of first tau >= t (right end of segment).
-    upper_idx = np.empty(batch, dtype=np.int64)
-    for row in range(batch):
-        upper_idx[row] = np.searchsorted(tau_data[row], t_clamped[row], side="left")
-    upper_idx = np.clip(upper_idx, 1, num_points - 1)
+    upper_idx = segment_upper_indices(tau_data, t_clamped)
     lower_idx = upper_idx - 1
 
     tau_lo = tau_data[rows, lower_idx]

@@ -1,0 +1,66 @@
+"""Global gradient-recording switch (``no_grad`` / ``enable_grad``).
+
+Training builds the full reverse-mode tape; inference only needs the forward
+values.  The context managers in this module flip a process-wide flag that
+:meth:`repro.autodiff.Tensor._make` consults: while gradient recording is
+disabled, every operation returns a plain leaf tensor — no parent references,
+no backward closures kept alive, no graph to topologically sort — so
+graph-mode inference stops paying the tape's memory and bookkeeping costs
+even where the compiled inference path (:mod:`repro.inference`) is not used.
+
+The flag is intentionally process-global rather than thread-local: the
+library's execution model is single-threaded per process (the cluster tier
+scales with worker *processes*), and a plain module attribute keeps the
+per-operation check as cheap as possible on the hot path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_grad_enabled: bool = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the backward graph."""
+    return _grad_enabled
+
+
+def set_grad_enabled(enabled: bool) -> bool:
+    """Set the global gradient-recording flag; returns the previous value."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def no_grad() -> Iterator[None]:
+    """Disable gradient recording for the enclosed block.
+
+    Inside the block every autodiff operation produces a graph-free tensor
+    (``requires_grad=False``, no parents, no backward closure), making
+    forward passes allocation-lean.  Nesting is safe; the previous state is
+    restored on exit even when the block raises.
+    """
+    previous = set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        set_grad_enabled(previous)
+
+
+@contextmanager
+def enable_grad() -> Iterator[None]:
+    """Force gradient recording on for the enclosed block.
+
+    The inverse escape hatch: code running under :func:`no_grad` (e.g. a
+    serving path) can still build a tape locally — used by the inference
+    benchmark to measure the true training-graph forward cost.
+    """
+    previous = set_grad_enabled(True)
+    try:
+        yield
+    finally:
+        set_grad_enabled(previous)

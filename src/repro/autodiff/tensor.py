@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import grad_mode
+
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 
@@ -143,6 +145,12 @@ class Tensor:
         backward_fn: Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]],
         name: str = "",
     ) -> "Tensor":
+        # requires_grad propagation: an output records the tape only when at
+        # least one parent participates in it AND recording is globally on
+        # (see repro.autodiff.grad_mode) — otherwise the backward closure is
+        # dropped immediately and the result is a plain leaf.
+        if not grad_mode._grad_enabled:
+            return Tensor(data, requires_grad=False, name=name)
         requires_grad = any(p.requires_grad for p in parents)
         if not requires_grad:
             return Tensor(data, requires_grad=False, name=name)

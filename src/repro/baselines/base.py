@@ -14,7 +14,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from ..autodiff import Tensor, concat
+from ..autodiff import Tensor, concat, no_grad
 from ..data.workload import WorkloadSplit
 from ..estimator import SelectivityEstimator
 from ..nn import Linear, Module, TrainingConfig, fit_regressor, log_huber_loss
@@ -134,5 +134,6 @@ class DeepRegressionEstimator(SelectivityEstimator):
             raise RuntimeError("estimator must be fitted before calling estimate()")
         queries = np.asarray(queries, dtype=np.float64)
         thresholds = np.asarray(thresholds, dtype=np.float64)
-        output = self.model(Tensor(queries), thresholds)
+        with no_grad():
+            output = self.model(Tensor(queries), thresholds)
         return np.clip(output.data.reshape(len(queries)), 0.0, None)

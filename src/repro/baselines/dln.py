@@ -34,7 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, cumsum, stack
+from ..autodiff import Tensor, concat, cumsum, no_grad, stack
 from ..data.workload import WorkloadSplit
 from ..estimator import SelectivityEstimator
 from ..registry import register_estimator
@@ -307,5 +307,8 @@ class DLNEstimator(SelectivityEstimator):
     def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
         if self.model is None:
             raise RuntimeError("estimator must be fitted before calling estimate()")
-        output = self.model(np.asarray(queries, dtype=np.float64), np.asarray(thresholds, dtype=np.float64))
+        with no_grad():
+            output = self.model(
+                np.asarray(queries, dtype=np.float64), np.asarray(thresholds, dtype=np.float64)
+            )
         return np.clip(output.data.reshape(len(queries)), 0.0, None)

@@ -23,7 +23,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor
+from ..autodiff import Tensor, no_grad
 from ..data.workload import WorkloadSplit
 from ..estimator import SelectivityEstimator
 from ..registry import register_estimator
@@ -179,5 +179,8 @@ class UMNNEstimator(SelectivityEstimator):
     def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
         if self.model is None:
             raise RuntimeError("estimator must be fitted before calling estimate()")
-        output = self.model(np.asarray(queries, dtype=np.float64), np.asarray(thresholds, dtype=np.float64))
+        with no_grad():
+            output = self.model(
+                np.asarray(queries, dtype=np.float64), np.asarray(thresholds, dtype=np.float64)
+            )
         return np.clip(output.data.reshape(len(queries)), 0.0, None)

@@ -11,6 +11,7 @@ Usage::
     repro train selnet --setting face-cos --scale tiny --out models/selnet-faces
     repro estimate models/selnet-faces          # evaluate a saved estimator
     repro serve-bench models/selnet-faces --requests 2000 --scenario zipfian
+    repro infer-bench models/selnet-faces --output BENCH_inference.json
     repro cluster-bench models/selnet-faces --shards 4    # sharded serving tier
 
 (``repro`` is the console script installed by ``setup.py``; ``python -m
@@ -147,6 +148,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--no-cache", action="store_true", help="bypass the curve cache")
     bench_parser.add_argument("--seed", type=int, default=0)
+
+    infer_parser = subparsers.add_parser(
+        "infer-bench",
+        help="benchmark compiled (pure-NumPy) vs graph (autodiff) inference",
+    )
+    infer_parser.add_argument(
+        "models", nargs="+", help="paths to saved estimator directories"
+    )
+    infer_parser.add_argument(
+        "--batch-sizes",
+        default="1,16,256,2048",
+        help="comma-separated request batch sizes to measure",
+    )
+    infer_parser.add_argument("--repeats", type=int, default=20, help="timed iterations per arm")
+    infer_parser.add_argument("--warmup", type=int, default=3, help="untimed warmup iterations")
+    infer_parser.add_argument(
+        "--pool",
+        choices=("test", "all"),
+        default="all",
+        help="request pool: the test fold or every workload fold",
+    )
+    infer_parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the results as JSON (e.g. BENCH_inference.json)",
+    )
+    infer_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: small batches and few repeats (parity is always asserted)",
+    )
+    infer_parser.add_argument(
+        "--max-deviation",
+        type=float,
+        default=1e-12,
+        help="largest tolerated |compiled - graph| estimate deviation",
+    )
+    infer_parser.add_argument("--seed", type=int, default=0)
 
     cluster_parser = subparsers.add_parser(
         "cluster-bench",
@@ -423,6 +462,62 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_infer_bench(args) -> int:
+    from .estimator import SelectivityEstimator
+    from .inference import InferenceBenchmarkReport, run_inference_benchmark, write_benchmark_json
+
+    if args.smoke:
+        batch_sizes = (1, 64)
+        repeats, warmup = 5, 1
+    else:
+        try:
+            batch_sizes = tuple(int(part) for part in args.batch_sizes.split(",") if part)
+        except ValueError:
+            raise SystemExit(f"--batch-sizes expects comma-separated integers, got {args.batch_sizes!r}")
+        repeats, warmup = args.repeats, args.warmup
+
+    report = InferenceBenchmarkReport(
+        metadata={
+            "batch_sizes": list(batch_sizes),
+            "pool": args.pool,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+            "models": {},
+        }
+    )
+    for raw_path in args.models:
+        model_path = Path(raw_path)
+        split = _bench_split(model_path)
+        queries, thresholds = _bench_pool(split, args.pool)
+        estimator = SelectivityEstimator.load(model_path)
+        partial = run_inference_benchmark(
+            {model_path.name: estimator},
+            queries,
+            thresholds,
+            batch_sizes=batch_sizes,
+            repeats=repeats,
+            warmup=warmup,
+            seed=args.seed,
+        )
+        report.rows.extend(partial.rows)
+        report.metadata["models"][model_path.name] = _recorded_training(model_path)
+        report.metadata.setdefault("repeats", repeats)
+        report.metadata.setdefault("warmup", warmup)
+
+    print(report.text)
+    if args.output:
+        path = write_benchmark_json(report, args.output)
+        print(f"wrote {path}")
+    deviation = report.max_deviation()
+    if deviation > args.max_deviation:
+        raise SystemExit(
+            f"parity failure: max |compiled - graph| = {deviation:.3e} "
+            f"exceeds --max-deviation {args.max_deviation:.1e}"
+        )
+    print(f"parity: max |compiled - graph| = {deviation:.3e} (<= {args.max_deviation:.1e})")
+    return 0
+
+
 def _cmd_cluster_bench(args) -> int:
     from .cluster import ClusterConfig, EstimationCluster, run_cluster_benchmark
     from .serving import EstimationService, run_serving_benchmark
@@ -520,6 +615,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_estimate(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "infer-bench":
+        return _cmd_infer_bench(args)
     if args.command == "cluster-bench":
         return _cmd_cluster_bench(args)
 

@@ -75,6 +75,8 @@ class ClusterConfig:
     curve_resolution: int = 64
     max_batch_size: int = 256
     cache_key_decimals: int = DEFAULT_KEY_DECIMALS
+    #: serve through compiled inference kernels inside every shard's service
+    use_compiled: bool = True
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:

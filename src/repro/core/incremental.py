@@ -249,6 +249,7 @@ class IncrementalSelNetEstimator(SelectivityEstimator):
             config=self.incremental_config,
         )
         self._input_dim = estimator.expected_input_dim
+        self._invalidate_compiled()
         return self
 
     def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
@@ -263,7 +264,11 @@ class IncrementalSelNetEstimator(SelectivityEstimator):
     ) -> List[UpdateStepReport]:
         if self.state is None:
             raise RuntimeError("estimator must be fitted before calling update()")
-        return self.state.update(inserts=inserts, deletes=deletes)
+        reports = self.state.update(inserts=inserts, deletes=deletes)
+        # The update may have fine-tuned the model in place; any cached
+        # compiled kernel froze the pre-update weights and must be rebuilt.
+        self._invalidate_compiled()
+        return reports
 
     @property
     def reports(self) -> List[UpdateStepReport]:

@@ -16,7 +16,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..autodiff import Tensor, stack
+from ..autodiff import Tensor, no_grad, stack
 from ..index import Partitioning
 from ..nn import Autoencoder, Module
 from .config import SelNetConfig
@@ -108,7 +108,8 @@ class PartitionedSelNet(Module):
         queries = np.asarray(queries, dtype=np.float64)
         thresholds = np.asarray(thresholds, dtype=np.float64)
         indicators = self.partitioning.indicator_batch(queries, thresholds)
-        output = self.forward(Tensor(queries), thresholds, indicators)
+        with no_grad():
+            output = self.forward(Tensor(queries), thresholds, indicators)
         return np.clip(output.data.reshape(len(queries)), 0.0, None)
 
     def reconstruction_loss(self, queries: Tensor) -> Tensor:

@@ -22,7 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..autodiff import Tensor, concat
+from ..autodiff import Tensor, concat, no_grad
 from ..nn import Autoencoder, Module
 from .config import SelNetConfig
 from .control_points import ControlPointHead
@@ -106,7 +106,8 @@ class SelNetModel(Module):
         """Non-negative selectivity estimates as a plain numpy array."""
         queries = np.asarray(queries, dtype=np.float64)
         thresholds = np.asarray(thresholds, dtype=np.float64)
-        output = self.forward(Tensor(queries), thresholds)
+        with no_grad():
+            output = self.forward(Tensor(queries), thresholds)
         return np.clip(output.data.reshape(len(queries)), 0.0, None)
 
     def curve_for_query(self, query: np.ndarray) -> PiecewiseLinearCurve:

@@ -310,6 +310,7 @@ class SelNetEstimator(SelectivityEstimator):
             )
             self.history = train_selnet_model(model, split.train, split.validation, config, rng=rng)
         self.model = model
+        self._invalidate_compiled()  # weights changed: next compiled() refreezes
         return self
 
     def estimate(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:

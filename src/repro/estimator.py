@@ -59,6 +59,10 @@ class SelectivityEstimator(abc.ABC):
     #: give clear shape errors instead of cryptic numpy broadcast failures
     _input_dim: Optional[int] = None
 
+    #: cached compiled inference kernel (see :meth:`compiled`); class-level
+    #: None so unpickled / freshly constructed instances start without one
+    _compiled_kernel = None
+
     @abc.abstractmethod
     def fit(self, split: WorkloadSplit) -> "SelectivityEstimator":
         """Train / build the estimator from a workload split.
@@ -98,6 +102,31 @@ class SelectivityEstimator(abc.ABC):
                 f"{expected}-dimensional vectors"
             )
         return query
+
+    # ------------------------------------------------------------------ #
+    # Compiled inference
+    # ------------------------------------------------------------------ #
+    def compiled(self, dtype=np.float64, refresh: bool = False):
+        """The frozen pure-NumPy inference kernel for this estimator.
+
+        Compiles lazily on first use and caches the kernel; ``refresh=True``
+        (or an intervening :meth:`fit` / :meth:`update` / persistence
+        ``load``, which call :meth:`_invalidate_compiled`) rebuilds it from
+        the current weights.  With the default ``float64`` the kernel's
+        ``predict`` is bit-equal to :meth:`estimate`; ``float32`` trades
+        that for a smaller working set.  See :mod:`repro.inference`.
+        """
+        kernel = self.__dict__.get("_compiled_kernel")
+        if refresh or kernel is None or kernel.dtype != np.dtype(dtype):
+            from .inference import compile_estimator
+
+            kernel = compile_estimator(self, dtype=dtype)
+            self._compiled_kernel = kernel
+        return kernel
+
+    def _invalidate_compiled(self) -> None:
+        """Drop the cached kernel (weights changed: refit, update, reload)."""
+        self.__dict__.pop("_compiled_kernel", None)
 
     # ------------------------------------------------------------------ #
     # Convenience helpers

@@ -109,12 +109,29 @@ class Partitioning:
         return out
 
     def indicator_batch(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
-        """Vector of indicators for aligned query / threshold arrays."""
+        """Vector of indicators for aligned query / threshold arrays.
+
+        Vectorised over the batch: instead of one :meth:`indicator` call per
+        row (O(rows x regions) Python iterations), the loop runs over the
+        ball regions — a handful per partition — and each region tests all
+        queries in one distance kernel call.  Both distances are symmetric,
+        so ``distance(center, queries)`` matches the per-row
+        ``distance(query, centers)`` values.
+        """
         queries = np.asarray(queries, dtype=np.float64)
         thresholds = np.asarray(thresholds, dtype=np.float64)
-        out = np.empty((len(queries), self.num_partitions), dtype=np.float64)
-        for i, (query, threshold) in enumerate(zip(queries, thresholds)):
-            out[i] = self.indicator(query, threshold)
+        if self.always_active:
+            return np.ones((len(queries), self.num_partitions), dtype=np.float64)
+        out = np.zeros((len(queries), self.num_partitions), dtype=np.float64)
+        for k, partition in enumerate(self.partitions):
+            if not partition.regions:
+                out[:, k] = 1.0
+                continue
+            active = np.zeros(len(queries), dtype=bool)
+            for region in partition.regions:
+                distances = self.distance(region.center, queries)
+                active |= distances <= region.radius + thresholds
+            out[:, k] = active
         return out
 
     def local_selectivity_labels(

@@ -1,0 +1,55 @@
+"""Compiled pure-NumPy inference path for fitted estimators.
+
+The training substrate (:mod:`repro.autodiff` / :mod:`repro.nn`) optimises
+for differentiability; serving optimises for answer latency.  This package
+separates the two: :func:`compile_estimator` freezes any fitted estimator
+into a :class:`CompiledKernel` — flat contiguous weights, in-place NumPy
+forward, batched piecewise-linear evaluation, zero autograd overhead — and
+the serving / cluster tiers use those kernels by default.
+
+Quick start::
+
+    from repro import create_estimator
+    from repro.inference import compile_estimator
+
+    estimator = create_estimator("selnet-ct", epochs=20).fit(split)
+    kernel = estimator.compiled()          # cached; same as compile_estimator(estimator)
+    kernel.predict(queries, thresholds)    # bit-equal to estimator.estimate(...)
+    kernel.curve_values(queries, grid)     # one forward per query, all thresholds
+
+Benchmarks: :func:`run_inference_benchmark` (the ``repro infer-bench``
+subcommand) measures compiled-vs-graph throughput and latency percentiles
+and writes ``BENCH_inference.json``.
+"""
+
+from .bench import (
+    InferenceBenchmarkReport,
+    run_inference_benchmark,
+    write_benchmark_json,
+)
+from .compiler import compile_estimator
+from .kernels import (
+    CompiledKernel,
+    CompiledPartitionedSelNet,
+    CompiledSelNet,
+    FusedFeedForward,
+    GraphFallbackKernel,
+    KernelCompilationError,
+    piecewise_linear_batch,
+    piecewise_linear_grid,
+)
+
+__all__ = [
+    "compile_estimator",
+    "CompiledKernel",
+    "CompiledSelNet",
+    "CompiledPartitionedSelNet",
+    "GraphFallbackKernel",
+    "FusedFeedForward",
+    "KernelCompilationError",
+    "piecewise_linear_batch",
+    "piecewise_linear_grid",
+    "InferenceBenchmarkReport",
+    "run_inference_benchmark",
+    "write_benchmark_json",
+]

@@ -1,0 +1,443 @@
+"""Pure-NumPy inference kernels for frozen (fitted) estimators.
+
+A *compiled kernel* is the answer-phase counterpart of a trained model: the
+weights are extracted once into flat contiguous arrays and the forward pass
+is re-expressed as a handful of in-place NumPy calls — no
+:class:`~repro.autodiff.Tensor` allocation, no backward closures, no graph
+bookkeeping.  The arithmetic replays the graph-mode forward operation for
+operation (same operands, same order), so for ``float64`` kernels the
+compiled estimates are bit-equal to ``model.predict``; ``float32`` trades
+that equality for smaller working sets.
+
+Three kernel families cover every registered estimator:
+
+* :class:`CompiledSelNet` — SelNet-ct / SelNet-ad-ct (and the model inside
+  ``selnet-inc``): fused autoencoder-encoder + control-point head with a
+  batched piecewise-linear evaluation of Equation 1.
+* :class:`CompiledPartitionedSelNet` — full SelNet: the shared encoder runs
+  **once** per batch (graph mode re-encodes the same queries ``K`` times,
+  once per local model) and the per-partition curves are fused through one
+  indicator-weighted sum.
+* :class:`GraphFallbackKernel` — everything else: delegates to
+  ``estimator.estimate`` under :func:`repro.autodiff.no_grad`, so even
+  non-compilable estimators stop paying for backward closures.
+
+All kernels share the same surface: ``predict(queries, thresholds)`` for
+aligned pairs and ``curve_values(queries, grid)`` which evaluates every
+query's selectivity curve on a common threshold grid with **one** network
+forward per query (the serving layer uses it to fill many cache misses per
+micro-batch).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autodiff import no_grad, segment_upper_indices
+from ..autodiff.functional import norm_l2_squared  # noqa: F401  (doc cross-ref)
+from ..nn import Linear, Module, Sequential
+from ..nn.layers import ReLU, Sigmoid, Softplus, Tanh
+
+#: epsilon of the Norm_l2 squared-normalisation (matches
+#: :func:`repro.autodiff.norm_l2_squared`'s default, which SelNet uses)
+_NORM_L2_EPSILON = 1e-6
+
+_ACTIVATIONS = {
+    ReLU: "relu",
+    Tanh: "tanh",
+    Sigmoid: "sigmoid",
+    Softplus: "softplus",
+}
+
+
+class KernelCompilationError(TypeError):
+    """Raised when a network cannot be frozen into a fused kernel."""
+
+
+# ---------------------------------------------------------------------- #
+# Fused feed-forward stacks
+# ---------------------------------------------------------------------- #
+class FusedFeedForward:
+    """A ``Sequential`` of Linear / activation layers frozen to flat arrays.
+
+    The forward pass allocates one output array per linear layer and applies
+    the bias and activation in place — the same values as the graph-mode
+    ``x @ W + b`` / ``relu`` chain, at a third of the allocations and none of
+    the tape overhead.
+    """
+
+    __slots__ = ("layers", "dtype")
+
+    def __init__(self, layers: List[Tuple[np.ndarray, Optional[np.ndarray], Optional[str]]], dtype) -> None:
+        self.layers = layers
+        self.dtype = np.dtype(dtype)
+
+    @classmethod
+    def from_sequential(cls, network: Sequential, dtype=np.float64) -> "FusedFeedForward":
+        """Extract ``(weight, bias, activation)`` triples from a Sequential."""
+        dtype = np.dtype(dtype)
+        layers: List[Tuple[np.ndarray, Optional[np.ndarray], Optional[str]]] = []
+        for module in network:
+            if isinstance(module, Linear):
+                weight = np.ascontiguousarray(module.weight.data, dtype=dtype)
+                bias = (
+                    None
+                    if module.bias is None
+                    else np.ascontiguousarray(module.bias.data, dtype=dtype)
+                )
+                layers.append((weight, bias, None))
+            elif type(module) in _ACTIVATIONS:
+                if not layers:
+                    raise KernelCompilationError(
+                        "activation before any linear layer cannot be fused"
+                    )
+                weight, bias, activation = layers[-1]
+                if activation is not None:
+                    raise KernelCompilationError("two consecutive activations cannot be fused")
+                layers[-1] = (weight, bias, _ACTIVATIONS[type(module)])
+            else:
+                raise KernelCompilationError(
+                    f"cannot freeze module of type {type(module).__name__} into a fused kernel"
+                )
+        if not layers:
+            raise KernelCompilationError("cannot freeze an empty network")
+        return cls(layers, dtype)
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(
+            weight.size + (0 if bias is None else bias.size) for weight, bias, _ in self.layers
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        for weight, bias, activation in self.layers:
+            x = x @ weight
+            if bias is not None:
+                np.add(x, bias, out=x)
+            if activation == "relu":
+                np.maximum(x, 0.0, out=x)
+            elif activation == "tanh":
+                np.tanh(x, out=x)
+            elif activation == "sigmoid":
+                np.negative(x, out=x)
+                np.exp(x, out=x)
+                np.add(x, 1.0, out=x)
+                np.reciprocal(x, out=x)
+            elif activation == "softplus":
+                x = np.logaddexp(0.0, x)
+        return x
+
+
+# ---------------------------------------------------------------------- #
+# Batched piecewise-linear evaluation (Equation 1)
+# ---------------------------------------------------------------------- #
+def piecewise_linear_batch(tau: np.ndarray, p: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Evaluate per-row piecewise-linear curves at per-row thresholds.
+
+    The non-differentiable twin of :func:`repro.autodiff.piecewise_linear`:
+    identical clamping, segment lookup and interpolation arithmetic, but on
+    raw arrays with a single batched segment search.
+    """
+    t_clamped = np.clip(t, tau[:, 0], tau[:, -1])
+    upper = segment_upper_indices(tau, t_clamped)
+    lower = upper - 1
+    rows = np.arange(len(tau))
+    tau_lo = tau[rows, lower]
+    tau_hi = tau[rows, upper]
+    p_lo = p[rows, lower]
+    p_hi = p[rows, upper]
+    width = np.maximum(tau_hi - tau_lo, 1e-12)
+    fraction = (t_clamped - tau_lo) / width
+    return p_lo + fraction * (p_hi - p_lo)
+
+
+def piecewise_linear_grid(tau: np.ndarray, p: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Evaluate every row's curve at every grid threshold, shape ``(n, G)``.
+
+    ``np.interp`` per row would be exact too, but the counting formulation
+    keeps the arithmetic identical to :func:`piecewise_linear_batch` and
+    vectorises over both rows and grid points at once.
+    """
+    n, num_points = tau.shape
+    grid = np.asarray(grid, dtype=tau.dtype)
+    t_clamped = np.clip(grid[None, :], tau[:, :1], tau[:, -1:])  # (n, G)
+    # Segment lookup per (row, grid point): count entries strictly below t.
+    upper = np.count_nonzero(tau[:, None, :] < t_clamped[:, :, None], axis=2)
+    upper = np.clip(upper, 1, num_points - 1)
+    lower = upper - 1
+    rows = np.arange(n)[:, None]
+    tau_lo = tau[rows, lower]
+    tau_hi = tau[rows, upper]
+    p_lo = p[rows, lower]
+    p_hi = p[rows, upper]
+    width = np.maximum(tau_hi - tau_lo, 1e-12)
+    fraction = (t_clamped - tau_lo) / width
+    return p_lo + fraction * (p_hi - p_lo)
+
+
+# ---------------------------------------------------------------------- #
+# SelNet head: control-point generation without the tape
+# ---------------------------------------------------------------------- #
+class CompiledControlPointHead:
+    """Frozen τ- and p-generators of one :class:`~repro.core.SelNetModel`."""
+
+    def __init__(self, model, dtype=np.float64) -> None:
+        dtype = np.dtype(dtype)
+        head = model.head
+        tau_generator = head.tau_generator
+        p_generator = head.p_generator
+        self.dtype = dtype
+        self.t_max = float(tau_generator.t_max)
+        self.query_dependent_tau = bool(tau_generator.query_dependent)
+        self.tau_network = FusedFeedForward.from_sequential(tau_generator.network, dtype)
+        self.p_encoder = FusedFeedForward.from_sequential(p_generator.encoder, dtype)
+        self.embedding_dim = int(p_generator.embedding_dim)
+        self.num_outputs = int(p_generator.num_outputs)
+        # Stack the per-point decoders into one (L+2, emb, 1) batched matmul
+        # operand: np.matmul evaluates every decoder's slice in one call,
+        # with per-slice results bit-equal to the graph-mode per-decoder
+        # ``h_i @ W_i`` products.
+        self.decoder_weights = np.ascontiguousarray(
+            np.stack([decoder.weight.data for decoder in p_generator.decoders], axis=0),
+            dtype=dtype,
+        )
+        self.decoder_biases = np.ascontiguousarray(
+            np.stack(
+                [
+                    np.zeros(1) if decoder.bias is None else decoder.bias.data
+                    for decoder in p_generator.decoders
+                ],
+                axis=0,
+            ),
+            dtype=dtype,
+        )[:, None, :]
+
+    @property
+    def num_parameters(self) -> int:
+        return (
+            self.tau_network.num_parameters
+            + self.p_encoder.num_parameters
+            + self.decoder_weights.size
+            + self.num_outputs
+        )
+
+    def control_points(self, augmented: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the ``(tau, p)`` control-point arrays, each ``(batch, L+2)``."""
+        batch = len(augmented)
+
+        # --- τ: FFN -> Norm_l2 -> scale -> prefix sum, ends pinned --- #
+        tau_input = np.ones_like(augmented) if not self.query_dependent_tau else augmented
+        raw = self.tau_network(tau_input)
+        squared = raw ** 2
+        denom = squared.sum(axis=-1, keepdims=True) + _NORM_L2_EPSILON
+        numer = squared + _NORM_L2_EPSILON / raw.shape[-1]
+        increments = (numer / denom) * self.t_max
+        tau = np.empty((batch, self.num_outputs), dtype=augmented.dtype)
+        tau[:, 0] = 0.0
+        np.cumsum(increments, axis=1, out=tau[:, 1:])
+        tau[:, -1] = self.t_max
+
+        # --- p: encoder -> per-point linear decoders -> ReLU -> prefix sum --- #
+        embeddings = self.p_encoder(augmented)
+        # (L+2, batch, emb) @ (L+2, emb, 1): one batched matmul evaluates all
+        # decoders; slice i sees exactly embeddings[:, i*emb:(i+1)*emb].
+        per_point = embeddings.reshape(batch, self.num_outputs, self.embedding_dim)
+        value = np.matmul(per_point.transpose(1, 0, 2), self.decoder_weights)
+        np.add(value, self.decoder_biases, out=value)
+        np.maximum(value, 0.0, out=value)
+        p = np.cumsum(value[:, :, 0].T, axis=1)
+        return tau, p
+
+
+# ---------------------------------------------------------------------- #
+# Kernel surface
+# ---------------------------------------------------------------------- #
+class CompiledKernel:
+    """Common surface of every compiled inference kernel."""
+
+    #: short identifier used in reports and ``describe()``
+    kind: str = "kernel"
+    #: True when ``curve_values`` costs one network forward per query (the
+    #: fused path); False when each grid point is a full estimator row.
+    fuses_curves: bool = False
+
+    dtype: np.dtype = np.dtype(np.float64)
+
+    def predict(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        """Non-negative selectivity estimates for aligned (query, t) pairs."""
+        raise NotImplementedError
+
+    def curve_values(self, queries: np.ndarray, grid: np.ndarray) -> np.ndarray:
+        """Each query's selectivity curve on ``grid``, shape ``(n, len(grid))``."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "dtype": str(self.dtype), "fuses_curves": self.fuses_curves}
+
+
+class CompiledSelNet(CompiledKernel):
+    """Fused inference kernel for a single (non-partitioned) SelNet model."""
+
+    kind = "selnet"
+    fuses_curves = True
+
+    def __init__(self, model, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self.input_dim = int(model.input_dim)
+        self.encoder = FusedFeedForward.from_sequential(model.autoencoder.encoder, self.dtype)
+        self.head = CompiledControlPointHead(model, self.dtype)
+        self.t_max = self.head.t_max
+
+    @property
+    def num_parameters(self) -> int:
+        return self.encoder.num_parameters + self.head.num_parameters
+
+    def _augment(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.ascontiguousarray(queries, dtype=self.dtype)
+        if queries.ndim != 2:
+            raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
+        latent = self.encoder(queries)
+        return np.concatenate([queries, latent], axis=1)
+
+    def control_points(self, queries: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self.head.control_points(self._augment(queries))
+
+    def predict(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        thresholds = np.asarray(thresholds, dtype=self.dtype)
+        tau, p = self.control_points(queries)
+        output = piecewise_linear_batch(tau, p, thresholds)
+        return np.clip(output, 0.0, None)
+
+    def curve_values(self, queries: np.ndarray, grid: np.ndarray) -> np.ndarray:
+        tau, p = self.control_points(queries)
+        return np.clip(piecewise_linear_grid(tau, p, grid), 0.0, None)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["num_parameters"] = self.num_parameters
+        return info
+
+
+class CompiledPartitionedSelNet(CompiledKernel):
+    """Fused inference kernel for partitioned SelNet (K local models).
+
+    Graph mode runs the shared autoencoder once *per local model*; the
+    compiled kernel encodes the batch once and feeds the shared augmented
+    representation to each frozen head, then combines the per-partition
+    curve evaluations through the indicator-weighted sum of Observation 1.
+    """
+
+    kind = "selnet-partitioned"
+    fuses_curves = True
+
+    def __init__(self, model, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self.input_dim = int(model.input_dim)
+        self.t_max = float(model.t_max)
+        self.partitioning = model.partitioning
+        self.encoder = FusedFeedForward.from_sequential(model.autoencoder.encoder, self.dtype)
+        self.heads = [CompiledControlPointHead(local, self.dtype) for local in model.local_models]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.heads)
+
+    @property
+    def num_parameters(self) -> int:
+        return self.encoder.num_parameters + sum(head.num_parameters for head in self.heads)
+
+    def _augment(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.ascontiguousarray(queries, dtype=self.dtype)
+        if queries.ndim != 2:
+            raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
+        latent = self.encoder(queries)
+        return np.concatenate([queries, latent], axis=1)
+
+    def local_control_points(
+        self, queries: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """One ``(tau, p)`` pair per partition, sharing a single encode."""
+        augmented = self._augment(queries)
+        return [head.control_points(augmented) for head in self.heads]
+
+    def predict(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float64)
+        thresholds = np.asarray(thresholds, dtype=self.dtype)
+        batch = len(queries)
+        indicators = self.partitioning.indicator_batch(queries, thresholds)
+        augmented = self._augment(queries)
+        # Accumulating in partition order keeps the summation order — and
+        # therefore the bits — of the graph-mode indicator-weighted sum.
+        output = np.zeros(batch, dtype=self.dtype)
+        for k, head in enumerate(self.heads):
+            if not np.any(indicators[:, k]):
+                # No query ball in the batch intersects this partition: its
+                # contribution is exactly zero, so the head never runs.
+                # (Row-level filtering would change the BLAS batch shape and
+                # with it the low-order bits — full evaluation keeps the
+                # active rows bit-equal to graph mode.)
+                continue
+            tau, p = head.control_points(augmented)
+            output += piecewise_linear_batch(tau, p, thresholds) * indicators[:, k]
+        return np.clip(output, 0.0, None)
+
+    def curve_values(self, queries: np.ndarray, grid: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float64)
+        grid = np.asarray(grid, dtype=self.dtype)
+        n, num_grid = len(queries), len(grid)
+        locals_ = self.local_control_points(queries)
+        # One (n, K, G) stack of per-partition curves, one indicator batch for
+        # the full (query x grid) cross product.
+        local_curves = np.stack(
+            [piecewise_linear_grid(tau, p, grid) for tau, p in locals_], axis=1
+        )
+        repeated = np.repeat(queries, num_grid, axis=0)
+        tiled = np.tile(grid, n)
+        indicators = self.partitioning.indicator_batch(repeated, tiled)
+        indicators = indicators.reshape(n, num_grid, -1).transpose(0, 2, 1)  # (n, K, G)
+        output = (local_curves * indicators).sum(axis=1)
+        return np.clip(output, 0.0, None)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["num_parameters"] = self.num_parameters
+        info["num_partitions"] = self.num_partitions
+        return info
+
+
+class GraphFallbackKernel(CompiledKernel):
+    """Generic no-grad wrapper for estimators without a fused kernel.
+
+    Delegates to ``estimator.estimate`` inside :func:`repro.autodiff.no_grad`
+    so tensor-based estimators stop allocating backward closures; purely
+    NumPy estimators (KDE, LSH, GBDT...) pass straight through unchanged.
+    """
+
+    kind = "graph-fallback"
+    fuses_curves = False
+
+    def __init__(self, estimator, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self._estimator = estimator
+
+    def predict(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        with no_grad():
+            return np.asarray(
+                self._estimator.estimate(queries, thresholds), dtype=np.float64
+            )
+
+    def curve_values(self, queries: np.ndarray, grid: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float64)
+        grid = np.asarray(grid, dtype=np.float64)
+        repeated = np.repeat(queries, len(grid), axis=0)
+        tiled = np.tile(grid, len(queries))
+        with no_grad():
+            values = np.asarray(self._estimator.estimate(repeated, tiled), dtype=np.float64)
+        return values.reshape(len(queries), len(grid))
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["wraps"] = type(self._estimator).__name__
+        return info

@@ -120,8 +120,12 @@ def save_estimator(
         save_state(directory / WEIGHTS_FILE, weights)
         metadata["num_weight_arrays"] = len(weights)
 
+    state = dict(vars(estimator))
+    # The compiled inference kernel is derived state (frozen weight copies);
+    # it is rebuilt on load rather than shipped in the pickle.
+    state.pop("_compiled_kernel", None)
     with open(directory / STATE_FILE, "wb") as handle:
-        pickle.dump(dict(vars(estimator)), handle, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
     with open(directory / SIDECAR_FILE, "w") as handle:
         json.dump(metadata, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -192,4 +196,8 @@ def load_estimator(path: PathLike) -> SelectivityEstimator:
                     f"restored {cls.__name__} has no such module"
                 )
             module.load_state_dict(module_state)
+    # Recompile the inference kernel from the freshly restored weights so a
+    # loaded estimator serves through the compiled path immediately (never
+    # fails: estimators without a fused kernel get the generic fallback).
+    estimator.compiled(refresh=True)
     return estimator

@@ -3,15 +3,21 @@
 :class:`EstimationService` turns a directory of saved estimators (see
 :mod:`repro.persistence`) into a queryable model store:
 
-* models are loaded lazily by name and kept in memory;
+* models are loaded lazily by name, kept in memory and (by default) served
+  through their **compiled** pure-NumPy inference kernels
+  (:mod:`repro.inference`) — answers stay equal to the estimator's own
+  ``estimate`` while skipping the autodiff graph entirely;
 * batched ``(query, threshold)`` requests are routed through bounded
   micro-batches (:mod:`repro.serving.batching`);
 * an LRU selectivity-curve cache (:mod:`repro.serving.cache`) answers
-  repeated queries by interpolation instead of model forward passes;
+  repeated queries by interpolation instead of model forward passes; cache
+  misses are filled through :meth:`EstimationService.curves_for_queries`,
+  which builds many curves per kernel call (for SelNet kernels: one network
+  forward per distinct query, whatever the grid resolution);
 * per-model request counts, batch counts, latency and cache hit-rate
   statistics are tracked for observability;
 * data updates are routed to estimators that support them, invalidating the
-  model's cached curves.
+  model's cached curves and recompiling the model's kernel.
 
 The ``repro serve-bench`` CLI subcommand drives
 :func:`run_serving_benchmark` against this facade.
@@ -84,6 +90,11 @@ class EstimationService:
         Rounding of query coordinates inside cache keys (see
         :func:`repro.serving.cache.query_cache_key`); lower values let
         near-duplicate queries share one cached curve.
+    use_compiled:
+        Serve through each model's compiled inference kernel
+        (:meth:`repro.SelectivityEstimator.compiled`, the default) instead
+        of graph-mode ``estimate`` calls.  Estimates are equal either way;
+        the compiled path skips the autodiff machinery.
     """
 
     def __init__(
@@ -93,12 +104,14 @@ class EstimationService:
         curve_resolution: int = 64,
         max_batch_size: int = 256,
         cache_key_decimals: int = DEFAULT_KEY_DECIMALS,
+        use_compiled: bool = True,
     ) -> None:
         if curve_resolution < 2:
             raise ValueError("curve_resolution must be at least 2")
         self.model_dir = None if model_dir is None else Path(model_dir)
         self.curve_resolution = int(curve_resolution)
         self.max_batch_size = int(max_batch_size)
+        self.use_compiled = bool(use_compiled)
         self.cache = CurveCache(capacity=cache_capacity, decimals=cache_key_decimals)
         self._estimators: Dict[str, SelectivityEstimator] = {}
         self._metadata: Dict[str, Dict[str, Any]] = {}
@@ -205,7 +218,7 @@ class EstimationService:
         if use_cache and self.cache.capacity > 0:
             results = self._estimate_cached(name, estimator, queries, thresholds, stats)
         else:
-            results = self._estimate_direct(estimator, queries, thresholds, stats)
+            results = self._estimate_direct(name, estimator, queries, thresholds, stats)
         stats.requests += len(thresholds)
         stats.total_estimate_seconds += time.perf_counter() - start
         return results
@@ -217,16 +230,27 @@ class EstimationService:
         result = self.estimate(name, query[None, :], np.asarray([threshold]), use_cache=use_cache)
         return float(result[0])
 
+    def _kernel(self, name: str):
+        """The model's compiled inference kernel (None in graph mode)."""
+        if not self.use_compiled:
+            return None
+        return self.get(name).compiled()
+
     def _estimate_direct(
         self,
+        name: str,
         estimator: SelectivityEstimator,
         queries: np.ndarray,
         thresholds: np.ndarray,
         stats: ModelStats,
     ) -> np.ndarray:
+        kernel = self._kernel(name)
         results = np.empty(len(thresholds), dtype=np.float64)
         for batch in iter_microbatches(queries, thresholds, self.max_batch_size):
-            results[batch.positions] = estimator.estimate(batch.queries, batch.thresholds)
+            if kernel is not None:
+                results[batch.positions] = kernel.predict(batch.queries, batch.thresholds)
+            else:
+                results[batch.positions] = estimator.estimate(batch.queries, batch.thresholds)
             stats.batches += 1
         return results
 
@@ -261,6 +285,45 @@ class EstimationService:
             upper = 1.0
         return np.linspace(0.0, upper, self.curve_resolution)
 
+    def _build_curve_values(
+        self,
+        name: str,
+        estimator: SelectivityEstimator,
+        unique_queries: np.ndarray,
+        grid: np.ndarray,
+        stats: ModelStats,
+    ) -> np.ndarray:
+        """Curve values for distinct queries, shape ``(n, len(grid))``.
+
+        Batched per micro-batch: with a curve-fusing kernel (the SelNet
+        family) one call computes control points once per query and reads
+        the whole grid off them, so a micro-batch of ``max_batch_size``
+        queries is one forward pass; the generic fallback expands to
+        (query, threshold) rows and is chunked so one call never exceeds
+        ``max_batch_size`` rows.
+        """
+        kernel = self._kernel(name)
+        num_grid = len(grid)
+        values = np.empty((len(unique_queries), num_grid), dtype=np.float64)
+        if kernel is not None and kernel.fuses_curves:
+            for start in range(0, len(unique_queries), self.max_batch_size):
+                stop = min(start + self.max_batch_size, len(unique_queries))
+                values[start:stop] = kernel.curve_values(unique_queries[start:stop], grid)
+                stats.batches += 1
+        else:
+            # Non-fusing path: expand to (query, grid point) rows and keep
+            # every estimator call within the configured micro-batch bound.
+            repeated = np.repeat(unique_queries, num_grid, axis=0)
+            tiled = np.tile(grid, len(unique_queries))
+            flat = values.reshape(-1)
+            for batch in iter_microbatches(repeated, tiled, self.max_batch_size):
+                if kernel is not None:
+                    flat[batch.positions] = kernel.predict(batch.queries, batch.thresholds)
+                else:
+                    flat[batch.positions] = estimator.estimate(batch.queries, batch.thresholds)
+                stats.batches += 1
+        return values
+
     def _fill_misses(
         self,
         name: str,
@@ -278,45 +341,64 @@ class EstimationService:
 
         grid = self._curve_grid(estimator, float(thresholds[miss_positions].max()))
         unique_rows = [positions[0] for positions in unique.values()]
-        curve_queries = np.repeat(queries[unique_rows], len(grid), axis=0)
-        curve_thresholds = np.tile(grid, len(unique_rows))
-        values = np.empty(len(curve_thresholds), dtype=np.float64)
-        for batch in iter_microbatches(curve_queries, curve_thresholds, self.max_batch_size):
-            values[batch.positions] = estimator.estimate(batch.queries, batch.thresholds)
-            stats.batches += 1
+        values = self._build_curve_values(name, estimator, queries[unique_rows], grid, stats)
 
         for index, positions in enumerate(unique.values()):
-            curve = CachedCurve(
-                thresholds=grid,
-                values=values[index * len(grid) : (index + 1) * len(grid)],
-            )
+            curve = CachedCurve(thresholds=grid, values=values[index])
             self.cache.put(name, queries[positions[0]], curve)
             stats.curve_builds += 1
             for position in positions:
                 results[position] = curve(thresholds[position])
+
+    def curves_for_queries(
+        self, name: str, queries: np.ndarray, thresholds: Optional[np.ndarray] = None
+    ) -> List[CachedCurve]:
+        """Selectivity curves for a batch of queries in batched kernel calls.
+
+        With the default grid (``thresholds=None``) every curve is also
+        cached for later ``estimate`` calls; a caller-supplied grid is *not*
+        cached (an arbitrary — possibly coarse or narrow — grid entering the
+        shared cache would silently degrade every subsequent estimate for
+        those queries).
+        """
+        estimator = self.get(name)
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValueError(f"queries must be a 2-D array, got shape {queries.shape}")
+        expected = estimator.expected_input_dim
+        if expected is not None and queries.shape[1] != expected:
+            raise ValueError(
+                f"queries have {queries.shape[1]} dimensions but {name!r} was fitted "
+                f"on {expected}-dimensional vectors"
+            )
+        default_grid = thresholds is None
+        if default_grid:
+            grid = self._curve_grid(estimator, t_hi=0.0)
+        else:
+            grid = np.asarray(thresholds, dtype=np.float64)
+        stats = self._model_stats(name)
+        values = self._build_curve_values(name, estimator, queries, grid, stats)
+        curves: List[CachedCurve] = []
+        for row in range(len(queries)):
+            curve = CachedCurve(thresholds=grid, values=values[row])
+            if default_grid:
+                self.cache.put(name, queries[row], curve)
+                stats.curve_builds += 1
+            curves.append(curve)
+        return curves
 
     def curve(
         self, name: str, query: np.ndarray, thresholds: Optional[np.ndarray] = None
     ) -> CachedCurve:
         """The named model's selectivity curve for one query.
 
-        With the default grid the curve is also cached for later
-        ``estimate`` calls.  A caller-supplied ``thresholds`` grid is *not*
-        cached: an arbitrary (possibly coarse or narrow) grid entering the
-        shared cache would silently degrade every subsequent estimate for
-        that query.
+        One-query convenience wrapper around :meth:`curves_for_queries`
+        (same caching rules).
         """
-        estimator = self.get(name)
         query = np.asarray(query, dtype=np.float64)
-        if thresholds is None:
-            grid = self._curve_grid(estimator, t_hi=0.0)
-        else:
-            grid = np.asarray(thresholds, dtype=np.float64)
-        values = estimator.selectivity_curve(query, grid)
-        curve = CachedCurve(thresholds=grid, values=np.asarray(values, dtype=np.float64))
-        if thresholds is None:
-            self.cache.put(name, query, curve)
-        return curve
+        if query.ndim != 1:
+            raise ValueError(f"expected a single 1-D query vector, got shape {query.shape}")
+        return self.curves_for_queries(name, query[None, :], thresholds)[0]
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -329,8 +411,11 @@ class EstimationService:
     ):
         """Route a data update to the named model, dropping its cached curves.
 
-        Raises :class:`repro.estimator.UpdateNotSupportedError` when the
-        model's estimator does not implement the update protocol.
+        The estimator invalidates its own compiled kernel as part of
+        ``update``, so the next request through the compiled path freezes
+        the post-update weights.  Raises
+        :class:`repro.estimator.UpdateNotSupportedError` when the model's
+        estimator does not implement the update protocol.
         """
         estimator = self.get(name)
         reports = estimator.update(inserts=inserts, deletes=deletes)
@@ -344,8 +429,15 @@ class EstimationService:
     def stats(self) -> Dict[str, Any]:
         """Service-wide and per-model counters (JSON-able)."""
         per_model = {name: stats.as_dict() for name, stats in self._stats.items()}
+        kernels = {
+            name: kernel.describe()
+            for name, estimator in self._estimators.items()
+            if (kernel := estimator.__dict__.get("_compiled_kernel")) is not None
+        }
         return {
             "models_loaded": sorted(self._estimators),
+            "use_compiled": self.use_compiled,
+            "kernels": kernels,
             "cache": self.cache.stats(),
             "per_model": per_model,
             "total_requests": sum(stats.requests for stats in self._stats.values()),

@@ -1,0 +1,421 @@
+"""Compiled inference path: kernel parity, no_grad, serving integration.
+
+The contract under test: ``estimator.compiled().predict`` answers within
+1e-12 of graph-mode ``estimate`` for every registered estimator (for the
+fused SelNet kernels the answers are bit-equal), stays correct across
+persistence round-trips and incremental updates, and the serving layer uses
+the compiled kernels by default without changing its answers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from test_persistence import FAST_PARAMS
+
+from repro import SelectivityEstimator, create_estimator, load_estimator
+from repro.autodiff import (
+    Tensor,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    piecewise_linear,
+    segment_upper_indices,
+)
+from repro.inference import (
+    CompiledPartitionedSelNet,
+    CompiledSelNet,
+    GraphFallbackKernel,
+    compile_estimator,
+    run_inference_benchmark,
+    write_benchmark_json,
+)
+from repro.serving import EstimationService
+
+PARITY = 1e-12
+
+
+def _fit(name, tiny_cosine_split, **overrides):
+    params = dict(FAST_PARAMS[name], seed=0)
+    params.update(overrides)
+    return create_estimator(name, **params).fit(tiny_cosine_split)
+
+
+# ---------------------------------------------------------------------- #
+# Kernel parity for every registered estimator
+# ---------------------------------------------------------------------- #
+class TestCompiledParity:
+    @pytest.mark.parametrize("name", sorted(FAST_PARAMS))
+    def test_compiled_matches_graph(self, name, tiny_cosine_split):
+        estimator = _fit(name, tiny_cosine_split)
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        reference = np.asarray(estimator.estimate(queries, thresholds))
+        kernel = estimator.compiled()
+        compiled = kernel.predict(queries, thresholds)
+        assert np.max(np.abs(compiled - reference)) <= PARITY
+
+    def test_selnet_kernels_are_fused_and_bit_exact(self, tiny_cosine_split):
+        for name, expected in [
+            ("selnet-ct", CompiledSelNet),
+            ("selnet-ad-ct", CompiledSelNet),
+            ("selnet", CompiledPartitionedSelNet),
+        ]:
+            estimator = _fit(name, tiny_cosine_split)
+            kernel = estimator.compiled()
+            assert isinstance(kernel, expected)
+            queries = tiny_cosine_split.test.queries
+            thresholds = tiny_cosine_split.test.thresholds
+            np.testing.assert_array_equal(
+                kernel.predict(queries, thresholds),
+                np.asarray(estimator.estimate(queries, thresholds)),
+            )
+
+    def test_parity_across_batch_sizes(self, tiny_cosine_split):
+        estimator = _fit("selnet-ct", tiny_cosine_split)
+        kernel = estimator.compiled()
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        for size in (1, 2, 7, len(thresholds)):
+            q, t = queries[:size], thresholds[:size]
+            np.testing.assert_array_equal(
+                kernel.predict(q, t), np.asarray(estimator.estimate(q, t))
+            )
+
+    def test_unfitted_estimator_compiles_to_fallback(self):
+        estimator = create_estimator("selnet-ct")
+        kernel = estimator.compiled()
+        assert isinstance(kernel, GraphFallbackKernel)
+        with pytest.raises(RuntimeError, match="fitted"):
+            kernel.predict(np.zeros((1, 4)), np.zeros(1))
+
+    def test_baselines_fall_back(self, tiny_cosine_split):
+        estimator = _fit("kde", tiny_cosine_split)
+        kernel = estimator.compiled()
+        assert isinstance(kernel, GraphFallbackKernel)
+        assert kernel.describe()["wraps"] == "KDEEstimator"
+
+    def test_compiled_is_cached_until_invalidated(self, tiny_cosine_split):
+        estimator = _fit("selnet-ct", tiny_cosine_split)
+        kernel = estimator.compiled()
+        assert estimator.compiled() is kernel
+        assert estimator.compiled(refresh=True) is not kernel
+        estimator._invalidate_compiled()
+        assert estimator.compiled() is not kernel
+
+    def test_float32_kernel_close_but_smaller(self, tiny_cosine_split):
+        estimator = _fit("selnet-ct", tiny_cosine_split)
+        kernel32 = estimator.compiled(dtype=np.float32)
+        assert kernel32.dtype == np.dtype(np.float32)
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        reference = np.asarray(estimator.estimate(queries, thresholds))
+        out = kernel32.predict(queries, thresholds)
+        scale = np.maximum(np.abs(reference), 1.0)
+        assert np.max(np.abs(out - reference) / scale) < 1e-3
+
+    def test_curve_values_match_selectivity_curve(self, tiny_cosine_split):
+        grid = np.linspace(0.0, float(tiny_cosine_split.t_max), 17)
+        for name in ("selnet-ct", "selnet", "kde"):
+            estimator = _fit(name, tiny_cosine_split)
+            kernel = estimator.compiled()
+            queries = tiny_cosine_split.test.queries[:3]
+            values = kernel.curve_values(queries, grid)
+            assert values.shape == (3, len(grid))
+            for row, query in enumerate(queries):
+                expected = np.asarray(estimator.selectivity_curve(query, grid))
+                scale = np.maximum(np.abs(expected), 1.0)
+                assert np.max(np.abs(values[row] - expected) / scale) < 1e-9
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle: persistence round-trips and incremental updates
+# ---------------------------------------------------------------------- #
+class TestCompiledLifecycle:
+    def test_persistence_roundtrip_recompiles(self, tiny_cosine_split, tmp_path):
+        estimator = _fit("selnet-ct", tiny_cosine_split)
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        reference = estimator.compiled().predict(queries, thresholds)
+
+        path = tmp_path / "model"
+        estimator.save(path)
+        loaded = load_estimator(path)
+        # load recompiles eagerly: the kernel is attached, fresh, and exact.
+        kernel = loaded.__dict__.get("_compiled_kernel")
+        assert isinstance(kernel, CompiledSelNet)
+        np.testing.assert_array_equal(kernel.predict(queries, thresholds), reference)
+
+    def test_kernel_is_not_pickled(self, tiny_cosine_split, tmp_path):
+        import pickle
+
+        estimator = _fit("kde", tiny_cosine_split)
+        estimator.compiled()
+        path = tmp_path / "model"
+        estimator.save(path)
+        with open(path / "state.pkl", "rb") as handle:
+            state = pickle.load(handle)
+        assert "_compiled_kernel" not in state
+
+    def test_update_recompiles_selnet_inc(self, tiny_cosine_split, rng):
+        estimator = _fit(
+            "selnet-inc",
+            tiny_cosine_split,
+            update_max_epochs=1,
+            update_mae_drift_threshold=-1.0,  # any drift (even zero) forces a fine-tune
+        )
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        stale_kernel = estimator.compiled()
+        before = stale_kernel.predict(queries, thresholds)
+
+        inserts = rng.standard_normal((3, queries.shape[1]))
+        reports = estimator.update(inserts=inserts)
+        assert reports and reports[0].retrained
+
+        fresh_kernel = estimator.compiled()
+        assert fresh_kernel is not stale_kernel
+        after = np.asarray(estimator.estimate(queries, thresholds))
+        np.testing.assert_array_equal(fresh_kernel.predict(queries, thresholds), after)
+        # the fine-tune changed the weights, so the stale kernel is provably stale
+        assert not np.array_equal(before, after)
+
+    def test_refit_invalidates_kernel(self, tiny_cosine_split):
+        estimator = _fit("selnet-ct", tiny_cosine_split)
+        kernel = estimator.compiled()
+        estimator.fit(tiny_cosine_split)
+        assert estimator.__dict__.get("_compiled_kernel") is None
+        fresh = estimator.compiled()
+        assert fresh is not kernel
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        np.testing.assert_array_equal(
+            fresh.predict(queries, thresholds),
+            np.asarray(estimator.estimate(queries, thresholds)),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# no_grad / grad-mode propagation
+# ---------------------------------------------------------------------- #
+class TestGradMode:
+    def test_no_grad_produces_leaf_tensors(self):
+        weight = Tensor(np.ones((2, 2)), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (Tensor(np.ones((1, 2))) @ weight).relu()
+            assert not out.requires_grad
+            assert out._parents == ()
+            assert out._backward_fn is None
+        assert is_grad_enabled()
+
+    def test_no_grad_nests_and_restores_on_error(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_enable_grad_reenables_inside_no_grad(self):
+        weight = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            with enable_grad():
+                out = (weight * 2.0).sum()
+                assert out.requires_grad
+        out.backward()
+        np.testing.assert_allclose(weight.grad, np.full(3, 2.0))
+
+    def test_training_still_works_after_no_grad(self):
+        weight = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        with no_grad():
+            (weight * 3.0).sum()
+        loss = (weight * weight).sum()
+        loss.backward()
+        np.testing.assert_allclose(weight.grad, [2.0, 4.0])
+
+    def test_graph_mode_predict_builds_no_tape(self, tiny_cosine_split):
+        estimator = _fit("selnet-ct", tiny_cosine_split)
+        model = estimator.model
+        queries = Tensor(tiny_cosine_split.test.queries[:4])
+        with no_grad():
+            out = model.forward(queries, tiny_cosine_split.test.thresholds[:4])
+        assert not out.requires_grad and out._parents == ()
+
+
+# ---------------------------------------------------------------------- #
+# Vectorised segment lookup
+# ---------------------------------------------------------------------- #
+class TestSegmentLookup:
+    def test_matches_per_row_searchsorted(self, rng):
+        batch, points = 64, 9
+        tau = np.sort(rng.random((batch, points)), axis=1)
+        t = rng.random(batch)
+        expected = np.empty(batch, dtype=np.int64)
+        for row in range(batch):
+            expected[row] = np.searchsorted(tau[row], t[row], side="left")
+        expected = np.clip(expected, 1, points - 1)
+        np.testing.assert_array_equal(segment_upper_indices(tau, t), expected)
+
+    def test_piecewise_linear_gradcheck_still_clean(self, rng):
+        from repro.autodiff import check_gradients
+
+        tau_base = np.sort(rng.random((5, 6)), axis=1)
+        p_base = np.cumsum(rng.random((5, 6)), axis=1)
+        t = rng.uniform(0.15, 0.85, size=5)
+
+        tau = Tensor(tau_base, requires_grad=True)
+        p = Tensor(p_base, requires_grad=True)
+        assert check_gradients(lambda a, b: piecewise_linear(a, b, t), [tau, p])
+
+
+# ---------------------------------------------------------------------- #
+# Vectorised partition indicator
+# ---------------------------------------------------------------------- #
+class TestIndicatorBatch:
+    def test_matches_per_row_indicator(self, tiny_face_dataset, rng):
+        from repro.distances import get_distance
+        from repro.index import build_partitioning
+
+        partitioning = build_partitioning(
+            "ct", tiny_face_dataset.vectors, num_partitions=3,
+            distance=get_distance("cosine"), seed=0,
+        )
+        queries = tiny_face_dataset.vectors[rng.integers(0, 600, size=32)]
+        thresholds = rng.uniform(0.0, 0.6, size=32)
+        batch = partitioning.indicator_batch(queries, thresholds)
+        for i in range(len(queries)):
+            np.testing.assert_array_equal(
+                batch[i], partitioning.indicator(queries[i], thresholds[i])
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Serving integration
+# ---------------------------------------------------------------------- #
+class TestServingUsesCompiledKernels:
+    @pytest.fixture(scope="class")
+    def service_with_selnet(self, tiny_cosine_split):
+        service = EstimationService(cache_capacity=64, curve_resolution=32)
+        estimator = _fit("selnet-ct", tiny_cosine_split)
+        service.add_model("selnet", estimator)
+        return service, estimator
+
+    def test_direct_path_is_compiled_and_exact(self, service_with_selnet, tiny_cosine_split):
+        service, estimator = service_with_selnet
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        served = service.estimate("selnet", queries, thresholds, use_cache=False)
+        np.testing.assert_array_equal(served, np.asarray(estimator.estimate(queries, thresholds)))
+        assert service.stats()["kernels"]["selnet"]["kind"] == "selnet"
+        assert service.stats()["use_compiled"] is True
+
+    def test_cached_path_fills_misses_through_fused_curves(
+        self, service_with_selnet, tiny_cosine_split
+    ):
+        service, _ = service_with_selnet
+        queries = tiny_cosine_split.test.queries[:8]
+        thresholds = tiny_cosine_split.test.thresholds[:8]
+        before = service.stats()["per_model"]["selnet"]["batches"]
+        service.estimate("selnet", queries, thresholds)
+        after = service.stats()["per_model"]["selnet"]["batches"]
+        # all distinct miss queries were filled by one fused kernel call
+        assert after - before == 1
+
+    def test_curves_for_queries_batches_and_caches(self, tiny_cosine_split):
+        service = EstimationService(cache_capacity=64, curve_resolution=16)
+        estimator = _fit("kde", tiny_cosine_split)
+        service.add_model("kde", estimator)
+        queries = np.unique(tiny_cosine_split.test.queries[:6], axis=0)
+        curves = service.curves_for_queries("kde", queries)
+        assert len(curves) == len(queries)
+        assert len(service.cache) == len(queries)
+        for curve, query in zip(curves, queries):
+            expected = estimator.selectivity_curve(query, curve.thresholds)
+            np.testing.assert_allclose(curve.values, expected)
+
+    def test_fallback_curve_path_respects_max_batch_size(self, tiny_cosine_split):
+        # curve_resolution > max_batch_size: each estimator call must still
+        # stay within the configured micro-batch bound.
+        service = EstimationService(cache_capacity=8, curve_resolution=32, max_batch_size=16)
+        estimator = _fit("kde", tiny_cosine_split)
+        calls = []
+        original = estimator.estimate
+        estimator.estimate = lambda q, t: (calls.append(len(t)), original(q, t))[1]
+        service.add_model("kde", estimator)
+        service.curves_for_queries("kde", tiny_cosine_split.test.queries[:3])
+        assert calls and max(calls) <= 16
+
+    def test_curve_rejects_wrong_dimensionality(self, tiny_cosine_split):
+        service = EstimationService()
+        service.add_model("kde", _fit("kde", tiny_cosine_split))
+        with pytest.raises(ValueError, match="dimensions"):
+            service.curve("kde", np.zeros(3))
+
+    def test_graph_mode_service_matches_compiled_service(self, tiny_cosine_split):
+        compiled_service = EstimationService(use_compiled=True)
+        graph_service = EstimationService(use_compiled=False)
+        estimator = _fit("selnet-ct", tiny_cosine_split)
+        compiled_service.add_model("m", estimator)
+        graph_service.add_model("m", estimator)
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        np.testing.assert_array_equal(
+            compiled_service.estimate("m", queries, thresholds, use_cache=False),
+            graph_service.estimate("m", queries, thresholds, use_cache=False),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Benchmark plumbing
+# ---------------------------------------------------------------------- #
+class TestInferenceBenchmark:
+    def test_report_rows_and_json(self, tiny_cosine_split, tmp_path):
+        estimator = _fit("kde", tiny_cosine_split)
+        report = run_inference_benchmark(
+            {"kde": estimator},
+            tiny_cosine_split.test.queries,
+            tiny_cosine_split.test.thresholds,
+            batch_sizes=(1, 8),
+            repeats=2,
+            warmup=0,
+        )
+        assert [row.batch_size for row in report.rows] == [1, 8]
+        assert report.max_deviation() <= PARITY
+        assert report.speedup_for("kde") > 0.0
+        with pytest.raises(KeyError):
+            report.speedup_for("nope")
+        path = write_benchmark_json(report, tmp_path / "bench.json")
+        payload = json.loads(path.read_text())
+        assert payload["benchmark"] == "repro-inference"
+        assert len(payload["rows"]) == 2
+        assert "compiled (pure-NumPy kernel)" in report.text
+
+    def test_cli_infer_bench_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        model_path = tmp_path / "kde-model"
+        assert (
+            main(
+                [
+                    "train", "kde", "--setting", "face-cos", "--scale", "tiny",
+                    "--seed", "0", "--out", str(model_path), "--param", "num_samples=32",
+                ]
+            )
+            == 0
+        )
+        output = tmp_path / "bench.json"
+        code = main(
+            ["infer-bench", str(model_path), "--smoke", "--output", str(output)]
+        )
+        assert code == 0
+        assert output.is_file()
+        payload = json.loads(output.read_text())
+        assert payload["metadata"]["smoke"] is True
+        assert {row["estimator"] for row in payload["rows"]} == {"kde-model"}
+        captured = capsys.readouterr()
+        assert "parity: max |compiled - graph|" in captured.out
