@@ -1,0 +1,50 @@
+"""Exact-selectivity oracle benchmark — blocked engine vs per-query baseline.
+
+Like ``bench_inference.py`` this tracks one of the repo's own hot paths
+(ROADMAP: "as fast as the hardware allows") rather than a paper table:
+ground-truth labeling dominated end-to-end experiment time once inference
+was compiled.  It runs the three ``repro oracle-bench`` phases at a
+laptop-sized scale and asserts
+
+* the exact-integer parity gate for every phase (the engine is an
+  optimisation, never an approximation), and
+* structural speedups where the algorithm guarantees them even on one
+  core: workload generation avoids the per-query full sort, and the
+  delta replay avoids the per-operation full rescan.
+
+The measured table is written to ``benchmarks/results/``; the full-scale
+numbers live in ``BENCH_oracle.json`` at the repo root (regenerate with
+``repro oracle-bench --n 50000 --dim 128 --num-workers 4``).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.exact import run_oracle_benchmark
+
+
+def test_oracle_blocked_vs_per_query(save_result, benchmark):
+    def run():
+        return run_oracle_benchmark(
+            num_objects=20_000,
+            dim=64,
+            num_queries=60,
+            thresholds_per_query=20,
+            distance="euclidean",
+            num_workers=4,
+            delta_operations=12,
+            seed=0,
+        )
+
+    report = run_once(benchmark, run)
+    save_result("oracle_blocked_vs_per_query", report.text)
+
+    # The engine must agree with the per-query reference integer for integer.
+    assert report.parity_ok()
+
+    # Structural speedup floors (conservative: the committed BENCH_oracle.json
+    # numbers at n=50k/dim=128 are much higher).
+    assert report.speedup_for("workload-generation") >= 2.0
+    assert report.speedup_for("relabel-batch") >= 1.5
+    assert report.speedup_for("delta-replay") >= 3.0

@@ -19,8 +19,9 @@ Run with::
 from __future__ import annotations
 
 from repro import build_workload_split, create_estimator, make_dataset
-from repro.data import SelectivityOracle, apply_update, generate_update_stream, relabel_workload
+from repro.data import generate_update_stream, relabel_workload
 from repro.eval import compute_error_metrics
+from repro.exact import DeltaOracle
 
 
 def main() -> None:
@@ -46,7 +47,9 @@ def main() -> None:
         dataset.vectors, num_operations=12, records_per_operation=25, seed=1
     )
     print("op  kind     |D|     val MAE   retrained   test MSE    test MAPE")
-    current_data = dataset.vectors
+    # Incremental oracle for test-set relabeling: base counts once, then only
+    # the rows each update touches are rescanned.
+    test_oracle = DeltaOracle(dataset.vectors, split.distance)
     test = split.test
     for step, operation in enumerate(operations, start=1):
         if operation.kind == "insert":
@@ -55,9 +58,8 @@ def main() -> None:
             report = incremental.update(deletes=operation.indices)[0]
 
         # Re-evaluate on the test workload against the *updated* database.
-        current_data = apply_update(current_data, operation)
-        oracle = SelectivityOracle(current_data, split.distance)
-        test = relabel_workload(test, oracle)
+        test_oracle.apply(operation)
+        test = relabel_workload(test, test_oracle)
         estimates = incremental.estimate(test.queries, test.thresholds)
         metrics = compute_error_metrics(estimates, test.selectivities)
         print(

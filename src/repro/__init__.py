@@ -61,6 +61,7 @@ from .data import (
 )
 from .distances import get_distance
 from .estimator import SelectivityEstimator, UpdateNotSupportedError
+from .exact import BlockedOracle, DeltaOracle, ReferenceOracle
 from .persistence import load_estimator, read_metadata, save_estimator
 from .registry import (
     EstimatorSpec,
@@ -100,6 +101,9 @@ __all__ = [
     "generate_workload",
     "build_workload_split",
     "SelectivityOracle",
+    "BlockedOracle",
+    "DeltaOracle",
+    "ReferenceOracle",
     "get_distance",
     "__version__",
 ]

@@ -12,6 +12,7 @@ Usage::
     repro estimate models/selnet-faces          # evaluate a saved estimator
     repro serve-bench models/selnet-faces --requests 2000 --scenario zipfian
     repro infer-bench models/selnet-faces --output BENCH_inference.json
+    repro oracle-bench --n 50000 --dim 128 --num-workers 4 --output BENCH_oracle.json
     repro cluster-bench models/selnet-faces --shards 4    # sharded serving tier
 
 (``repro`` is the console script installed by ``setup.py``; ``python -m
@@ -82,11 +83,23 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.add_argument("number", type=int, choices=sorted(TABLE_RUNNERS))
     table_parser.add_argument("--scale", default="small", help="tiny, small or medium")
     table_parser.add_argument("--output", default=None, help="also write the table to this file")
+    table_parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help="oracle labeling threads for workload generation (default: auto)",
+    )
 
     figure_parser = subparsers.add_parser("figure", help="reproduce one figure (3-5)")
     figure_parser.add_argument("number", type=int, choices=sorted(FIGURE_RUNNERS))
     figure_parser.add_argument("--scale", default="small", help="tiny, small or medium")
     figure_parser.add_argument("--output", default=None, help="also write the figure text to this file")
+    figure_parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help="oracle labeling threads for workload generation (default: auto)",
+    )
 
     models_parser = subparsers.add_parser(
         "models", help="list registered estimators and their capabilities"
@@ -110,6 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE",
         help="hyper-parameter override (repeatable), e.g. --param epochs=30",
+    )
+    train_parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help="oracle labeling threads for workload generation (default: auto)",
+    )
+    train_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="log ground-truth labeling progress to stderr",
     )
 
     estimate_parser = subparsers.add_parser(
@@ -186,6 +210,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest tolerated |compiled - graph| estimate deviation",
     )
     infer_parser.add_argument("--seed", type=int, default=0)
+
+    oracle_parser = subparsers.add_parser(
+        "oracle-bench",
+        help="benchmark the blocked exact-selectivity engine vs the per-query oracle",
+    )
+    oracle_parser.add_argument("--n", type=int, default=50_000, help="database size")
+    oracle_parser.add_argument("--dim", type=int, default=128, help="vector dimensionality")
+    oracle_parser.add_argument("--queries", type=int, default=100, help="distinct query vectors")
+    oracle_parser.add_argument(
+        "--thresholds-per-query", type=int, default=40, help="w thresholds per query"
+    )
+    oracle_parser.add_argument(
+        "--distance", default="euclidean", help="euclidean or cosine"
+    )
+    oracle_parser.add_argument(
+        "--num-workers", type=int, default=4, help="engine thread-pool width"
+    )
+    oracle_parser.add_argument(
+        "--block-kib", type=int, default=None, help="engine block budget in KiB"
+    )
+    oracle_parser.add_argument(
+        "--delta-ops", type=int, default=20, help="update operations in the delta-replay phase"
+    )
+    oracle_parser.add_argument(
+        "--no-delta", action="store_true", help="skip the delta-replay phase"
+    )
+    oracle_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero when the workload-generation speedup falls below this",
+    )
+    oracle_parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the results as JSON (e.g. BENCH_oracle.json)",
+    )
+    oracle_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: small database (the exact-parity gate is always asserted)",
+    )
+    oracle_parser.add_argument("--seed", type=int, default=0)
 
     cluster_parser = subparsers.add_parser(
         "cluster-bench",
@@ -313,11 +380,19 @@ def _cmd_models(args) -> int:
     return 0
 
 
-def _build_split_for(setting: str, scale_name: str, seed: int):
+def _build_split_for(
+    setting: str,
+    scale_name: str,
+    seed: int,
+    num_workers: Optional[int] = None,
+    progress: bool = False,
+):
     from .eval.harness import build_setting_split
 
     scale = get_scale(scale_name)
-    return scale, build_setting_split(setting, scale, seed=seed)
+    return scale, build_setting_split(
+        setting, scale, seed=seed, num_workers=num_workers, progress=progress or None
+    )
 
 
 def _metrics_line(estimator, workload, label: str) -> str:
@@ -338,7 +413,13 @@ def _cmd_train(args) -> int:
         spec = get_estimator_spec(args.estimator)
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}")
-    scale, split = _build_split_for(args.setting, args.scale, args.seed)
+    scale, split = _build_split_for(
+        args.setting,
+        args.scale,
+        args.seed,
+        num_workers=args.num_workers,
+        progress=bool(args.progress),
+    )
     if not spec.supports_distance(split.distance.name):
         raise SystemExit(
             f"{spec.name} does not support the {split.distance.name} distance of {args.setting}"
@@ -518,6 +599,49 @@ def _cmd_infer_bench(args) -> int:
     return 0
 
 
+def _cmd_oracle_bench(args) -> int:
+    from .exact import run_oracle_benchmark, write_oracle_benchmark_json
+
+    if args.smoke:
+        num_objects, dim, num_queries, thresholds_per_query = 4000, 24, 40, 12
+        delta_operations = 10
+    else:
+        num_objects, dim = args.n, args.dim
+        num_queries, thresholds_per_query = args.queries, args.thresholds_per_query
+        delta_operations = args.delta_ops
+
+    report = run_oracle_benchmark(
+        num_objects=num_objects,
+        dim=dim,
+        num_queries=num_queries,
+        thresholds_per_query=thresholds_per_query,
+        distance=args.distance,
+        num_workers=args.num_workers,
+        block_bytes=args.block_kib * 1024 if args.block_kib else None,
+        delta_operations=delta_operations,
+        include_delta=not args.no_delta,
+        seed=args.seed,
+    )
+    report.metadata["smoke"] = bool(args.smoke)
+    print(report.text)
+    if args.output:
+        path = write_oracle_benchmark_json(report, args.output)
+        print(f"wrote {path}")
+    if not report.parity_ok():
+        raise SystemExit(
+            "parity failure: batched engine counts diverge from the per-query reference"
+        )
+    print("parity: every phase matched the per-query reference exactly")
+    if args.min_speedup is not None:
+        speedup = report.speedup_for("workload-generation")
+        if speedup < args.min_speedup:
+            raise SystemExit(
+                f"speedup regression: workload-generation {speedup:.2f}x "
+                f"< required {args.min_speedup:.2f}x"
+            )
+    return 0
+
+
 def _cmd_cluster_bench(args) -> int:
     from .cluster import ClusterConfig, EstimationCluster, run_cluster_benchmark
     from .serving import EstimationService, run_serving_benchmark
@@ -598,11 +722,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "table":
+        if args.num_workers is not None:
+            from .exact import set_default_num_workers
+
+            set_default_num_workers(args.num_workers)
         _, runner = TABLE_RUNNERS[args.number]
         _run(runner, args.scale, args.output)
         return 0
 
     if args.command == "figure":
+        if args.num_workers is not None:
+            from .exact import set_default_num_workers
+
+            set_default_num_workers(args.num_workers)
         _, runner = FIGURE_RUNNERS[args.number]
         _run(runner, args.scale, args.output)
         return 0
@@ -617,6 +749,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve_bench(args)
     if args.command == "infer-bench":
         return _cmd_infer_bench(args)
+    if args.command == "oracle-bench":
+        return _cmd_oracle_bench(args)
     if args.command == "cluster-bench":
         return _cmd_cluster_bench(args)
 

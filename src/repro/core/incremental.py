@@ -19,9 +19,9 @@ from typing import List, Optional
 import numpy as np
 
 from ..autodiff import Tensor
-from ..data.ground_truth import SelectivityOracle
-from ..data.updates import UpdateOperation, apply_update
+from ..data.updates import UpdateOperation
 from ..data.workload import Workload, WorkloadSplit, relabel_workload
+from ..exact import DeltaOracle
 from ..distances import DistanceFunction
 from ..estimator import SelectivityEstimator
 from ..nn import Adam, DataLoader, log_huber_loss
@@ -77,6 +77,10 @@ class IncrementalSelNet:
         if not isinstance(self.estimator.model, SelNetModel):
             raise TypeError("IncrementalSelNet requires a fitted non-partitioned SelNet estimator")
         self.data = np.asarray(self.data, dtype=np.float64)
+        # One incremental oracle for the whole update stream: base counts per
+        # workload are computed once and each operation only scans the rows
+        # it touched, instead of rebuilding a fresh oracle per operation.
+        self._delta = DeltaOracle(self.data, self.distance)
         self._baseline_mae = self._validation_mae()
 
     # ------------------------------------------------------------------ #
@@ -132,11 +136,11 @@ class IncrementalSelNet:
     # ------------------------------------------------------------------ #
     def apply_operation(self, operation: UpdateOperation) -> UpdateStepReport:
         """Apply one insert/delete operation and update the model if needed."""
-        self.data = apply_update(self.data, operation)
-        oracle = SelectivityOracle(self.data, self.distance)
+        self._delta.apply(operation)
+        self.data = self._delta.current_data()
 
         # Step 1: refresh validation labels and re-check accuracy.
-        self.validation = relabel_workload(self.validation, oracle)
+        self.validation = relabel_workload(self.validation, self._delta)
         mae_before = self._validation_mae()
         drift = abs(mae_before - self._baseline_mae)
 
@@ -144,7 +148,7 @@ class IncrementalSelNet:
         fine_tune_epochs = 0
         if drift > self.config.mae_drift_threshold:
             # Step 2: refresh training labels and fine-tune the current model.
-            self.train = relabel_workload(self.train, oracle)
+            self.train = relabel_workload(self.train, self._delta)
             fine_tune_epochs = self._fine_tune()
             retrained = True
             self._baseline_mae = self._validation_mae()

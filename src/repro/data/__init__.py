@@ -9,7 +9,13 @@ from .synthetic import (
     make_fasttext_like,
     make_youtube_like,
 )
-from .updates import UpdateOperation, apply_stream, apply_update, generate_update_stream
+from .updates import (
+    UpdateOperation,
+    apply_stream,
+    apply_update,
+    generate_update_stream,
+    replay_stream_labels,
+)
 from .workload import (
     Workload,
     WorkloadSplit,
@@ -39,4 +45,5 @@ __all__ = [
     "generate_update_stream",
     "apply_update",
     "apply_stream",
+    "replay_stream_labels",
 ]

@@ -1,9 +1,12 @@
 """Exact selectivity computation (the value function ``f(x, t, D)``).
 
 This is the oracle the estimators are trained against and evaluated with.
-It is a brute-force scan vectorised with numpy; for the laptop-scale
-synthetic datasets used here that is entirely adequate, and it doubles as a
-reference implementation for correctness tests of every estimator.
+Single-query methods keep the original one-scan kernels (bit-for-bit), but
+all batch work — workload labeling, relabeling under updates, threshold
+derivation — is fronted by the blocked multi-core engine in
+:mod:`repro.exact`: query-block x data-block GEMM with norms precomputed
+once per oracle, a thread-pool scatter over query blocks, and counting /
+``np.partition`` instead of a full sort per query.
 """
 
 from __future__ import annotations
@@ -13,6 +16,8 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from ..distances import DistanceFunction, get_distance
+from ..distances.metrics import cosine_distance_with_norms
+from ..exact.blocked import BlockedOracle
 
 
 class SelectivityOracle:
@@ -21,15 +26,36 @@ class SelectivityOracle:
     Parameters
     ----------
     data:
-        Database vectors, shape ``(n, dim)``.
+        Database vectors, shape ``(n, dim)``; cached once as C-contiguous
+        float64 (row norms are precomputed for cosine so no per-query norm
+        pass remains).
     distance:
         A :class:`~repro.distances.DistanceFunction` or its name.
+    block_bytes:
+        Memory budget per distance tile of the batch engine.
+    num_workers:
+        Thread-pool width of the batch engine (``None`` = auto, see
+        :func:`repro.exact.get_default_num_workers`).
     """
 
-    def __init__(self, data: np.ndarray, distance) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(
+        self,
+        data: np.ndarray,
+        distance,
+        block_bytes: Optional[int] = None,
+        num_workers: Optional[int] = None,
+    ) -> None:
         self.distance: DistanceFunction = (
             distance if isinstance(distance, DistanceFunction) else get_distance(distance)
+        )
+        self.engine = BlockedOracle(
+            data, self.distance, block_bytes=block_bytes, num_workers=num_workers
+        )
+        self.data = self.engine.data
+        # Precomputed once: cosine row norms (the per-query kernel used to
+        # recompute these on every call) and the query-side norm helper.
+        self._data_norms = (
+            np.linalg.norm(self.data, axis=1) if self.distance.name == "cosine" else None
         )
 
     @property
@@ -37,11 +63,14 @@ class SelectivityOracle:
         return int(self.data.shape[0])
 
     # ------------------------------------------------------------------ #
-    # Distances
+    # Distances (single query; original kernels, no redundant passes)
     # ------------------------------------------------------------------ #
     def distances_to(self, query: np.ndarray) -> np.ndarray:
         """All distances from ``query`` to the database, unsorted."""
-        return self.distance(np.asarray(query, dtype=np.float64), self.data)
+        query = np.asarray(query, dtype=np.float64)
+        if self._data_norms is not None:
+            return cosine_distance_with_norms(query, self.data, self._data_norms)
+        return self.distance(query, self.data)
 
     def sorted_distances_to(self, query: np.ndarray) -> np.ndarray:
         """All distances from ``query`` to the database, ascending."""
@@ -57,23 +86,33 @@ class SelectivityOracle:
     def selectivities(self, query: np.ndarray, thresholds: Sequence[float]) -> np.ndarray:
         """Exact selectivities of one query at several thresholds.
 
-        Computed with a single distance scan plus a ``searchsorted`` so that
-        generating ``w`` thresholds per query (Appendix B.1) costs one scan.
+        One unsorted distance scan and a vectorised count — no sort.
         """
-        sorted_distances = self.sorted_distances_to(query)
+        distances = self.distances_to(query)
         thresholds = np.asarray(thresholds, dtype=np.float64)
-        return np.searchsorted(sorted_distances, thresholds, side="right").astype(np.int64)
+        return np.count_nonzero(distances[None, :] <= thresholds[:, None], axis=1).astype(
+            np.int64
+        )
 
     def batch_selectivity(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
-        """Exact selectivity for aligned arrays of queries and thresholds."""
+        """Exact selectivity for aligned arrays of queries and thresholds.
+
+        Runs on the blocked engine: blocked GEMM tiles, threaded over
+        query blocks, counting ``d <= t`` per data block (no sorts).
+        """
         queries = np.asarray(queries, dtype=np.float64)
         thresholds = np.asarray(thresholds, dtype=np.float64)
         if len(queries) != len(thresholds):
             raise ValueError("queries and thresholds must be aligned")
-        out = np.empty(len(queries), dtype=np.int64)
-        for i, (query, threshold) in enumerate(zip(queries, thresholds)):
-            out[i] = self.selectivity(query, threshold)
-        return out
+        return self.engine.selectivities_batch(queries, thresholds)
+
+    #: alias matching the engine vocabulary (supports 2-D threshold grids)
+    def selectivities_batch(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        return self.engine.selectivities_batch(queries, thresholds)
+
+    def kth_distances(self, queries: np.ndarray, ks: Sequence[int]) -> np.ndarray:
+        """Per-query 0-based order statistics via the engine's ``np.partition``."""
+        return self.engine.kth_distances(queries, ks)
 
     # ------------------------------------------------------------------ #
     # Threshold construction
@@ -89,11 +128,9 @@ class SelectivityOracle:
         """
         sorted_distances = self.sorted_distances_to(query)
         n = len(sorted_distances)
-        out = np.empty(len(list(target_selectivities)), dtype=np.float64)
-        for i, target in enumerate(target_selectivities):
-            rank = int(np.clip(round(target), 1, n))
-            out[i] = sorted_distances[rank - 1]
-        return out
+        targets = list(target_selectivities)
+        ranks = np.clip(np.round(np.asarray(targets, dtype=np.float64)).astype(np.int64), 1, n)
+        return sorted_distances[ranks - 1].astype(np.float64)
 
     def max_threshold(self, queries: Optional[Iterable[np.ndarray]] = None) -> float:
         """An upper bound ``t_max`` on thresholds for this dataset.
@@ -106,5 +143,5 @@ class SelectivityOracle:
             rng = np.random.default_rng(0)
             index = rng.choice(self.num_objects, size=sample_size, replace=False)
             queries = self.data[index]
-        maxima = [float(self.distances_to(query).max()) for query in queries]
-        return float(max(maxima))
+        query_array = np.asarray(list(queries) if not isinstance(queries, np.ndarray) else queries)
+        return float(self.engine.max_distances(query_array).max())

@@ -13,14 +13,41 @@ query**, so no test query has been seen during training.
 
 from __future__ import annotations
 
+import sys
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..distances import DistanceFunction, get_distance
 from .ground_truth import SelectivityOracle
 from .synthetic import Dataset
+
+#: progress reporting: ``True`` logs to stderr, a callable receives
+#: ``(labelled_queries, total_queries)`` after every engine block
+ProgressSpec = Union[bool, Callable[[int, int], None], None]
+
+
+def _progress_callback(progress: ProgressSpec, label: str) -> Optional[Callable[[int, int], None]]:
+    """Resolve a ``progress`` argument into an engine callback (or None)."""
+    if progress is None or progress is False:
+        return None
+    if callable(progress):
+        return progress
+    start = time.perf_counter()
+
+    def log(done: int, total: int) -> None:
+        elapsed = time.perf_counter() - start
+        rate = done / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"[{label}] labelled {done}/{total} queries "
+            f"({elapsed:.1f} s, {rate:.1f} queries/s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return log
 
 
 @dataclass
@@ -106,6 +133,9 @@ def generate_workload(
     beta_params: Tuple[float, float] = (3.0, 2.5),
     max_selectivity_fraction: float = 0.01,
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    block_bytes: Optional[int] = None,
+    progress: ProgressSpec = None,
 ) -> Tuple[Workload, SelectivityOracle]:
     """Generate a labelled workload for one dataset / distance setting.
 
@@ -131,11 +161,23 @@ def generate_workload(
         (see :func:`geometric_selectivity_targets`).
     seed:
         Random seed.
+    num_workers:
+        Thread-pool width of the labeling engine (``None`` = auto).
+    block_bytes:
+        Memory budget per distance tile of the labeling engine.
+    progress:
+        ``True`` logs labeling progress to stderr; a callable receives
+        ``(labelled_queries, total_queries)`` after every engine block.
     """
+    if threshold_distribution not in ("geometric", "beta"):
+        raise ValueError("threshold_distribution must be 'geometric' or 'beta'")
     distance_fn: DistanceFunction = (
         distance if isinstance(distance, DistanceFunction) else get_distance(distance)
     )
-    oracle = SelectivityOracle(dataset.vectors, distance_fn)
+    oracle = SelectivityOracle(
+        dataset.vectors, distance_fn, block_bytes=block_bytes, num_workers=num_workers
+    )
+    engine = oracle.engine
     rng = np.random.default_rng(seed)
 
     num_queries = min(num_queries, dataset.num_vectors)
@@ -146,45 +188,33 @@ def generate_workload(
     targets = geometric_selectivity_targets(
         dataset.num_vectors, thresholds_per_query, max_selectivity_fraction
     )
+    ranks = np.clip(np.round(targets).astype(np.int64), 1, dataset.num_vectors)
+    callback = _progress_callback(progress, f"workload {dataset.name}/{distance_fn.name}")
 
-    all_queries = []
-    all_thresholds = []
-    all_selectivities = []
-    all_ids = []
-
-    if threshold_distribution not in ("geometric", "beta"):
-        raise ValueError("threshold_distribution must be 'geometric' or 'beta'")
-
-    # First pass for beta mode: establish t_max from the geometric targets so
-    # the Beta support matches the realistic threshold range.
-    per_query_max = np.empty(num_queries, dtype=np.float64)
-    sorted_profiles = []
-    for i, query in enumerate(query_vectors):
-        profile = oracle.sorted_distances_to(query)
-        sorted_profiles.append(profile)
-        rank = int(np.clip(round(targets[-1]), 1, len(profile)))
-        per_query_max[i] = profile[rank - 1]
-    t_max = float(per_query_max.max() * 1.05)
-
-    for i, query in enumerate(query_vectors):
-        profile = sorted_profiles[i]
-        if threshold_distribution == "geometric":
-            ranks = np.clip(np.round(targets).astype(int), 1, len(profile))
-            thresholds = profile[ranks - 1]
-        else:
-            alpha, beta = beta_params
-            thresholds = rng.beta(alpha, beta, size=thresholds_per_query) * t_max
-        selectivities = np.searchsorted(profile, thresholds, side="right")
-        all_queries.append(np.repeat(query[None, :], len(thresholds), axis=0))
-        all_thresholds.append(thresholds)
-        all_selectivities.append(selectivities)
-        all_ids.append(np.full(len(thresholds), i, dtype=np.int64))
+    if threshold_distribution == "geometric":
+        # One fused engine sweep: per query block the distance tile is
+        # partitioned once at the largest rank (never fully sorted) and the
+        # exact counts at the derived thresholds come from the same tile.
+        thresholds, selectivities = engine.threshold_profile(
+            query_vectors, ranks, progress=callback
+        )
+        t_max = float(thresholds[:, -1].max() * 1.05)
+    else:
+        # Beta mode: t_max from the largest geometric rank, then random
+        # thresholds labelled by blocked counting.
+        per_query_max = engine.kth_distances(query_vectors, [int(ranks[-1]) - 1])
+        t_max = float(per_query_max.max() * 1.05)
+        alpha, beta = beta_params
+        thresholds = rng.beta(alpha, beta, size=(num_queries, thresholds_per_query)) * t_max
+        selectivities = engine.selectivities_batch(
+            query_vectors, thresholds, progress=callback
+        )
 
     workload = Workload(
-        queries=np.concatenate(all_queries, axis=0),
-        thresholds=np.concatenate(all_thresholds, axis=0).astype(np.float64),
-        selectivities=np.concatenate(all_selectivities, axis=0).astype(np.float64),
-        query_ids=np.concatenate(all_ids, axis=0),
+        queries=np.repeat(query_vectors, thresholds_per_query, axis=0),
+        thresholds=thresholds.reshape(-1).astype(np.float64),
+        selectivities=selectivities.reshape(-1).astype(np.float64),
+        query_ids=np.repeat(np.arange(num_queries, dtype=np.int64), thresholds_per_query),
         t_max=t_max,
         distance_name=distance_fn.name,
         metadata={
@@ -242,6 +272,9 @@ def build_workload_split(
     threshold_distribution: str = "geometric",
     max_selectivity_fraction: float = 0.01,
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    block_bytes: Optional[int] = None,
+    progress: ProgressSpec = None,
 ) -> WorkloadSplit:
     """Generate a workload and split it into train / validation / test."""
     distance_fn = distance if isinstance(distance, DistanceFunction) else get_distance(distance)
@@ -253,6 +286,9 @@ def build_workload_split(
         threshold_distribution=threshold_distribution,
         max_selectivity_fraction=max_selectivity_fraction,
         seed=seed,
+        num_workers=num_workers,
+        block_bytes=block_bytes,
+        progress=progress,
     )
     train, validation, test = split_workload(workload, seed=seed)
     return WorkloadSplit(
@@ -265,14 +301,50 @@ def build_workload_split(
     )
 
 
-def relabel_workload(workload: Workload, oracle: SelectivityOracle) -> Workload:
+def _relabel_deduplicated(workload: Workload, oracle) -> Optional[np.ndarray]:
+    """Relabel via one engine row per *distinct* query, when possible.
+
+    Workload rows repeat each query once per threshold; grouping them by
+    ``query_ids`` turns ``Q * w`` distance rows into ``Q`` rows with a
+    ``(Q, w)`` threshold grid.  Per-element GEMM results are invariant
+    under row deduplication, so the labels are identical to the flat path.
+    Returns ``None`` when the oracle lacks a grid API or the groups are
+    ragged (callers fall back to the aligned batch).
+    """
+    grid_fn = getattr(oracle, "selectivities_batch", None)
+    if grid_fn is None or len(workload) == 0:
+        return None
+    unique_ids, inverse, group_sizes = np.unique(
+        workload.query_ids, return_inverse=True, return_counts=True
+    )
+    width = int(group_sizes[0])
+    if len(unique_ids) < 2 or width < 2 or not np.all(group_sizes == width):
+        return None
+    order = np.argsort(inverse, kind="stable")
+    grid_labels = grid_fn(
+        workload.queries[order[::width]],
+        workload.thresholds[order].reshape(len(unique_ids), width),
+    )
+    labels = np.empty(len(workload), dtype=np.float64)
+    labels[order] = grid_labels.reshape(-1)
+    return labels
+
+
+def relabel_workload(workload: Workload, oracle) -> Workload:
     """Recompute exact selectivities against a (possibly updated) oracle.
 
     Used by the incremental-learning path (Section 5.4): after database
     insertions or deletions, the labels of the training and validation data
-    are refreshed before fine-tuning.
+    are refreshed before fine-tuning.  ``oracle`` is anything with a
+    ``batch_selectivity`` protocol — a :class:`SelectivityOracle` or a
+    :class:`repro.exact.DeltaOracle` (whose base-count cache makes repeated
+    relabeling after each update operation cost only the changed rows).
     """
-    new_labels = oracle.batch_selectivity(workload.queries, workload.thresholds).astype(np.float64)
+    new_labels = _relabel_deduplicated(workload, oracle)
+    if new_labels is None:
+        new_labels = oracle.batch_selectivity(
+            workload.queries, workload.thresholds
+        ).astype(np.float64)
     return Workload(
         queries=workload.queries,
         thresholds=workload.thresholds,

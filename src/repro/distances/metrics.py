@@ -33,6 +33,26 @@ def cosine_distance(x: np.ndarray, data: np.ndarray) -> np.ndarray:
     return 1.0 - cosine_similarity(x, data)
 
 
+#: denominator floor shared by every cosine kernel (here, the hoisted-norm
+#: variant below and the blocked GEMM tiles in repro.exact) — keeping it in
+#: one place preserves the exact-integer parity contract between oracles
+COSINE_NORM_FLOOR = 1e-12
+
+
+def cosine_distance_with_norms(
+    x: np.ndarray, data: np.ndarray, data_norms: np.ndarray
+) -> np.ndarray:
+    """:func:`cosine_distance` with the database norm pass hoisted out.
+
+    ``data_norms`` must be ``np.linalg.norm(data, axis=1)``; the result is
+    bit-identical to :func:`cosine_distance`, it just lets callers that scan
+    the same database repeatedly compute the norms once.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    denom = np.maximum(np.linalg.norm(x) * data_norms, COSINE_NORM_FLOOR)
+    return 1.0 - data @ x / denom
+
+
 def pairwise_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Pairwise Euclidean distance matrix between rows of ``a`` and rows of ``b``."""
     a = np.asarray(a, dtype=np.float64)

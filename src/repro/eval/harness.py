@@ -123,8 +123,14 @@ def build_setting_split(
     scale: ExperimentScale,
     threshold_distribution: str = "geometric",
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    progress=None,
 ) -> WorkloadSplit:
-    """Dataset + workload split for one of the paper's settings at a scale."""
+    """Dataset + workload split for one of the paper's settings at a scale.
+
+    ``num_workers`` and ``progress`` tune / observe the exact-selectivity
+    labeling engine (see :func:`repro.data.workload.generate_workload`).
+    """
     dataset = make_scaled_dataset(setting, scale)
     distance = setting_distance(setting)
     return build_workload_split(
@@ -135,6 +141,8 @@ def build_setting_split(
         threshold_distribution=threshold_distribution,
         max_selectivity_fraction=scale.max_selectivity_fraction,
         seed=seed,
+        num_workers=num_workers,
+        progress=progress,
     )
 
 

@@ -1,0 +1,37 @@
+"""Batched exact-selectivity engine: blocked kernels, delta maintenance, bench.
+
+The default oracle everywhere: :class:`repro.data.ground_truth.
+SelectivityOracle` fronts :class:`BlockedOracle` for all batch work, the
+workload generator derives thresholds through
+:meth:`BlockedOracle.threshold_profile`, and the update pipeline replays
+insert/delete streams through :class:`DeltaOracle`.
+"""
+
+from .bench import (
+    OracleBenchmarkReport,
+    OracleBenchmarkRow,
+    run_oracle_benchmark,
+    write_oracle_benchmark_json,
+)
+from .blocked import (
+    DEFAULT_BLOCK_BYTES,
+    BlockedOracle,
+    get_default_num_workers,
+    set_default_num_workers,
+)
+from .delta import DeltaOracle
+from .reference import LegacyOracle, ReferenceOracle
+
+__all__ = [
+    "BlockedOracle",
+    "DeltaOracle",
+    "LegacyOracle",
+    "ReferenceOracle",
+    "DEFAULT_BLOCK_BYTES",
+    "get_default_num_workers",
+    "set_default_num_workers",
+    "OracleBenchmarkReport",
+    "OracleBenchmarkRow",
+    "run_oracle_benchmark",
+    "write_oracle_benchmark_json",
+]

@@ -1,0 +1,267 @@
+"""Oracle benchmark (the ``repro oracle-bench`` CLI).
+
+Three phases, each timing the blocked engine against the seed's per-query
+pipeline (:class:`~repro.exact.reference.LegacyOracle` — one GEMV scan
+plus a sort or count per query) over equivalent inputs, with an
+**exact-integer parity gate** per phase (engine counts must match both
+the legacy pipeline and the kernel-pinned
+:class:`~repro.exact.reference.ReferenceOracle`):
+
+* **workload-generation** — derive geometric-rank thresholds and exact
+  labels for ``Q`` queries (the ``generate_workload`` hot path: baseline
+  sorts an ``n``-vector per query; the engine partitions once per row).
+* **relabel-batch** — aligned ``(query, threshold)`` relabeling (the
+  ``relabel_workload`` / update-replay hot path; counting, no sorts).
+* **delta-replay** — replay a mixed insert/delete stream, relabeling the
+  same workload after every operation: :class:`~repro.exact.delta.
+  DeltaOracle` vs a from-scratch legacy relabel per operation.
+
+Results serialise to ``BENCH_oracle.json`` via
+:func:`write_oracle_benchmark_json`; CI runs ``repro oracle-bench
+--smoke`` which exits non-zero when any phase's parity gate fails.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from .blocked import BlockedOracle
+from .delta import DeltaOracle
+from .reference import LegacyOracle, ReferenceOracle
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class OracleBenchmarkRow:
+    """One phase measurement: per-query baseline vs blocked engine."""
+
+    phase: str
+    distance: str
+    num_objects: int
+    dim: int
+    num_queries: int
+    thresholds_per_query: int
+    num_workers: int
+    baseline_seconds: float
+    engine_seconds: float
+    speedup: float
+    baseline_queries_per_second: float
+    engine_queries_per_second: float
+    parity_exact: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class OracleBenchmarkReport:
+    """All measurements of one oracle benchmark run."""
+
+    rows: List[OracleBenchmarkRow] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def parity_ok(self) -> bool:
+        return all(row.parity_exact for row in self.rows)
+
+    def speedup_for(self, phase: str) -> float:
+        candidates = [row.speedup for row in self.rows if row.phase == phase]
+        if not candidates:
+            raise KeyError(f"no benchmark rows for phase {phase!r}")
+        return max(candidates)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": "repro-oracle",
+            "metadata": dict(self.metadata),
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
+    @property
+    def text(self) -> str:
+        lines = [
+            "oracle-bench: blocked engine vs per-query reference oracle",
+            f"{'phase':<20} {'distance':<10} {'n':>7} {'dim':>4} {'queries':>7} "
+            f"{'workers':>7} {'baseline s':>11} {'engine s':>9} {'speedup':>8} {'parity':>7}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.phase:<20} {row.distance:<10} {row.num_objects:>7} {row.dim:>4} "
+                f"{row.num_queries:>7} {row.num_workers:>7} "
+                f"{row.baseline_seconds:>11.3f} {row.engine_seconds:>9.3f} "
+                f"{row.speedup:>7.2f}x {'exact' if row.parity_exact else 'FAIL':>7}"
+            )
+        return "\n".join(lines)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_oracle_benchmark(
+    num_objects: int = 50_000,
+    dim: int = 128,
+    num_queries: int = 100,
+    thresholds_per_query: int = 40,
+    distance: str = "euclidean",
+    num_workers: int = 4,
+    block_bytes: Optional[int] = None,
+    max_selectivity_fraction: float = 0.01,
+    delta_operations: int = 20,
+    records_per_operation: int = 5,
+    include_delta: bool = True,
+    seed: int = 0,
+) -> OracleBenchmarkReport:
+    """Measure the batched oracle against the per-query baseline."""
+    # Imported lazily: repro.data.ground_truth fronts this package's engine,
+    # so a module-level import here would be circular.
+    from ..data.synthetic import make_dataset
+    from ..data.updates import generate_update_stream
+
+    dataset = make_dataset(
+        "face_like", num_vectors=num_objects, dim=dim, num_clusters=16, seed=seed
+    )
+    data = dataset.vectors
+    rng = np.random.default_rng(seed)
+    query_index = rng.choice(num_objects, size=min(num_queries, num_objects), replace=False)
+    queries = data[query_index]
+    num_queries = len(queries)
+
+    engine = BlockedOracle(data, distance, block_bytes=block_bytes, num_workers=num_workers)
+    reference = ReferenceOracle(data, distance)
+
+    targets = np.geomspace(
+        1.0, max(num_objects * max_selectivity_fraction, 2.0), num=thresholds_per_query
+    )
+    ranks = np.clip(np.round(targets).astype(np.int64), 1, num_objects)
+
+    report = OracleBenchmarkReport(
+        metadata={
+            "num_objects": num_objects,
+            "dim": dim,
+            "num_queries": num_queries,
+            "thresholds_per_query": thresholds_per_query,
+            "distance": distance,
+            "num_workers": num_workers,
+            "seed": seed,
+        }
+    )
+
+    def add_row(phase, baseline_seconds, engine_seconds, parity_exact):
+        report.rows.append(
+            OracleBenchmarkRow(
+                phase=phase,
+                distance=distance,
+                num_objects=num_objects,
+                dim=dim,
+                num_queries=num_queries,
+                thresholds_per_query=thresholds_per_query,
+                num_workers=num_workers,
+                baseline_seconds=baseline_seconds,
+                engine_seconds=engine_seconds,
+                speedup=baseline_seconds / max(engine_seconds, 1e-12),
+                baseline_queries_per_second=num_queries / max(baseline_seconds, 1e-12),
+                engine_queries_per_second=num_queries / max(engine_seconds, 1e-12),
+                parity_exact=bool(parity_exact),
+            )
+        )
+
+    # Phase 1: workload generation (threshold derivation + exact labels).
+    # Timed baseline: the seed's per-query pipeline (one GEMV scan + one
+    # full sort per query).  Parity is layered: the engine must match the
+    # kernel-pinned ReferenceOracle *bitwise* (thresholds and counts), and
+    # the integer labels must also match the legacy pipeline (both resolve
+    # every rank tie by construction, so ulp-level threshold differences
+    # cannot show up in the counts).
+    legacy = LegacyOracle(data, distance)
+    (legacy_thresholds, legacy_counts), baseline_s = _timed(
+        lambda: legacy.threshold_profile(queries, ranks)
+    )
+    (eng_thresholds, eng_counts), engine_s = _timed(
+        lambda: engine.threshold_profile(queries, ranks)
+    )
+    ref_thresholds, ref_counts = reference.threshold_profile(queries, ranks)
+    parity = (
+        np.array_equal(ref_counts, eng_counts)
+        and np.array_equal(ref_thresholds, eng_thresholds)
+        and np.array_equal(legacy_counts, eng_counts)
+    )
+    add_row("workload-generation", baseline_s, engine_s, parity)
+
+    # Phase 2: aligned relabeling over flat (query, threshold) rows — the
+    # seed's `batch_selectivity` loop (one unsorted scan + count per row)
+    # vs blocked counting.  Flat engine counts must also agree bitwise with
+    # the fused phase-1 counts (row deduplication invariance).
+    flat_queries = np.repeat(queries, thresholds_per_query, axis=0)
+    flat_thresholds = eng_thresholds.reshape(-1)
+    legacy_flat, baseline_s = _timed(
+        lambda: legacy.selectivities_batch(flat_queries, legacy_thresholds.reshape(-1))
+    )
+    eng_flat, engine_s = _timed(
+        lambda: engine.selectivities_batch(flat_queries, flat_thresholds)
+    )
+    parity = np.array_equal(eng_flat, eng_counts.reshape(-1)) and np.array_equal(
+        legacy_flat, eng_flat
+    )
+    add_row("relabel-batch", baseline_s, engine_s, parity)
+
+    if include_delta:
+        # Phase 3: update replay — relabel the workload after every operation.
+        # Each arm derives rank thresholds with its own kernel and replays
+        # with it: the legacy per-query GEMV pipeline is bit-stable under row
+        # deletion (each distance is an independent dot product), so both
+        # pipelines resolve every rank-threshold tie by construction and
+        # their integer labels must agree at every step.
+        operations = generate_update_stream(
+            data,
+            num_operations=delta_operations,
+            records_per_operation=records_per_operation,
+            seed=seed,
+        )
+        def baseline_replay():
+            current = data
+            labels = []
+            from ..data.updates import apply_update
+
+            for operation in operations:
+                current = apply_update(current, operation)
+                labels.append(
+                    LegacyOracle(current, distance).selectivities_batch(
+                        queries, legacy_thresholds
+                    )
+                )
+            return labels
+
+        def delta_replay():
+            delta = DeltaOracle(
+                data, distance, block_bytes=block_bytes, num_workers=num_workers
+            )
+            labels = []
+            for operation in operations:
+                delta.apply(operation)
+                labels.append(delta.selectivities_batch(queries, eng_thresholds))
+            return labels
+
+        ref_labels, baseline_s = _timed(baseline_replay)
+        eng_labels, engine_s = _timed(delta_replay)
+        parity = all(np.array_equal(r, e) for r, e in zip(ref_labels, eng_labels))
+        add_row("delta-replay", baseline_s, engine_s, parity)
+
+    return report
+
+
+def write_oracle_benchmark_json(report: OracleBenchmarkReport, path: PathLike) -> Path:
+    """Serialise a benchmark report to ``path`` (e.g. ``BENCH_oracle.json``)."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,140 @@
+"""Per-query reference oracle for the batched engine's parity gate.
+
+:class:`ReferenceOracle` reproduces the *pre-batching* oracle algorithm —
+one distance scan, one full ``O(n log n)`` sort and a ``searchsorted`` per
+query — while computing each distance through the same GEMM formula as
+:class:`~repro.exact.blocked.BlockedOracle` (one padded two-row matmul per
+query).  Pinning the distance kernel makes the parity gate deterministic:
+any integer mismatch indicts the batching machinery (blocking, threading,
+pruning, delta composition), never BLAS summation-order noise at tie
+thresholds.  It also serves as the honest per-query baseline arm of
+``repro oracle-bench``, since its per-query cost matches what
+``generate_workload`` and ``relabel_workload`` paid before this engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .blocked import BlockedOracle
+
+
+class ReferenceOracle:
+    """One-query-at-a-time oracle with engine-identical distances."""
+
+    def __init__(self, data: np.ndarray, distance) -> None:
+        self._engine = BlockedOracle(data, distance, num_workers=1)
+
+    @property
+    def num_objects(self) -> int:
+        return self._engine.num_objects
+
+    def sorted_distances_to(self, query: np.ndarray) -> np.ndarray:
+        """All distances from one query, ascending (full sort, GEMM kernel)."""
+        row = self._engine._fill_rows(self._engine._coerce_queries(query))
+        return np.sort(row[0])
+
+    def selectivities_batch(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        """Counts via one sort + ``searchsorted`` per query."""
+        queries = np.asarray(queries, dtype=np.float64)
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if len(queries) != len(thresholds):
+            raise ValueError("queries and thresholds must be aligned")
+        out = np.empty(thresholds.shape, dtype=np.int64)
+        for i, query in enumerate(queries):
+            profile = self.sorted_distances_to(query)
+            out[i] = np.searchsorted(profile, thresholds[i], side="right")
+        return out
+
+    batch_selectivity = selectivities_batch
+
+    def kth_distances(self, queries: np.ndarray, ks: Sequence[int]) -> np.ndarray:
+        """0-based order statistics per query, from the fully sorted profile."""
+        queries = np.asarray(queries, dtype=np.float64)
+        ks = np.asarray(ks, dtype=np.int64)
+        out = np.empty((len(queries), len(ks)), dtype=np.float64)
+        for i, query in enumerate(queries):
+            out[i] = self.sorted_distances_to(query)[ks]
+        return out
+
+    def threshold_profile(
+        self, queries: np.ndarray, ranks: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-query tie-robust thresholds and counts (full sorted profile)."""
+        queries = np.asarray(queries, dtype=np.float64)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        thresholds = np.empty((len(queries), len(ranks)), dtype=np.float64)
+        counts = np.empty((len(queries), len(ranks)), dtype=np.int64)
+        for i, query in enumerate(queries):
+            profile = self.sorted_distances_to(query)
+            thresholds[i] = self._engine.tie_robust_thresholds(profile[ranks - 1])
+            counts[i] = np.searchsorted(profile, thresholds[i], side="right")
+        return thresholds, counts
+
+
+class LegacyOracle:
+    """The seed repo's per-query oracle pipeline, kept as an update-replay
+    reference.
+
+    Distances come from ``DistanceFunction.query_to_data`` — one GEMV per
+    query — exactly as the pre-engine ``SelectivityOracle`` computed them.
+    GEMV output elements are independent per-row dot products, so a
+    surviving row's distance is *bit-identical before and after other rows
+    are deleted* — unlike GEMM tiles, whose panel layout shifts with the
+    matrix shape.  That stability is what makes this pipeline the anchor
+    for the ``DeltaOracle`` replay parity gate: both pipelines resolve a
+    rank-threshold tie by construction, so their integer counts agree at
+    every update step even though their float thresholds differ in ulps.
+    """
+
+    def __init__(self, data: np.ndarray, distance) -> None:
+        from ..distances import DistanceFunction, get_distance
+
+        self.data = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+        self.distance: DistanceFunction = (
+            distance if isinstance(distance, DistanceFunction) else get_distance(distance)
+        )
+
+    @property
+    def num_objects(self) -> int:
+        return int(self.data.shape[0])
+
+    def sorted_distances_to(self, query: np.ndarray) -> np.ndarray:
+        return np.sort(self.distance(np.asarray(query, dtype=np.float64), self.data))
+
+    def selectivities_batch(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        """Counts exactly as the seed computed them.
+
+        1-D thresholds mirror the seed's ``batch_selectivity`` (one
+        unsorted scan and a count per row); 2-D grids mirror the seed's
+        workload-generation loop (one sort + ``searchsorted`` per query).
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        out = np.empty(thresholds.shape, dtype=np.int64)
+        if thresholds.ndim == 1:
+            for i, query in enumerate(queries):
+                distances = self.distance(query, self.data)
+                out[i] = np.count_nonzero(distances <= thresholds[i])
+            return out
+        for i, query in enumerate(queries):
+            profile = self.sorted_distances_to(query)
+            out[i] = np.searchsorted(profile, thresholds[i], side="right")
+        return out
+
+    batch_selectivity = selectivities_batch
+
+    def threshold_profile(
+        self, queries: np.ndarray, ranks: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        queries = np.asarray(queries, dtype=np.float64)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        thresholds = np.empty((len(queries), len(ranks)), dtype=np.float64)
+        counts = np.empty((len(queries), len(ranks)), dtype=np.int64)
+        for i, query in enumerate(queries):
+            profile = self.sorted_distances_to(query)
+            thresholds[i] = profile[ranks - 1]
+            counts[i] = np.searchsorted(profile, thresholds[i], side="right")
+        return thresholds, counts

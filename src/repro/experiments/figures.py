@@ -213,16 +213,18 @@ def figure5_updates(
         mape_series: List[float] = []
         retrain_count = 0
         test = split.test
-        current_data = split.dataset.vectors
-        from ..data import SelectivityOracle, apply_update
         from ..data.workload import relabel_workload
+        from ..exact import DeltaOracle
 
+        # One incremental oracle for the test-set relabeling across the whole
+        # stream: base counts are computed once, each step scans only the
+        # rows the operation touched (exact parity with a full rebuild).
+        test_oracle = DeltaOracle(split.dataset.vectors, split.distance)
         for operation in operations:
             report = incremental.apply_operation(operation)
             retrain_count += int(report.retrained)
-            current_data = apply_update(current_data, operation)
-            oracle = SelectivityOracle(current_data, split.distance)
-            test = relabel_workload(test, oracle)
+            test_oracle.apply(operation)
+            test = relabel_workload(test, test_oracle)
             estimates = incremental.estimate(test.queries, test.thresholds)
             metrics = compute_error_metrics(estimates, test.selectivities)
             mse_series.append(metrics.mse)

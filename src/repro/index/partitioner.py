@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..distances import DistanceFunction, get_distance
+from ..distances.metrics import cosine_distance_with_norms
 from .cover_tree import BallRegion, CoverTree
 
 
@@ -134,6 +135,16 @@ class Partitioning:
             out[:, k] = active
         return out
 
+    def _partition_ids(self) -> np.ndarray:
+        """Partition index of every database row (cached)."""
+        ids = getattr(self, "_partition_id_cache", None)
+        if ids is None:
+            ids = np.empty(len(self.data), dtype=np.int64)
+            for k, partition in enumerate(self.partitions):
+                ids[partition.point_indices] = k
+            self._partition_id_cache = ids
+        return ids
+
     def local_selectivity_labels(
         self, queries: np.ndarray, thresholds: np.ndarray
     ) -> np.ndarray:
@@ -141,17 +152,54 @@ class Partitioning:
 
         Used as local training labels: the paper's Observation 1 says the
         global selectivity is the sum of the per-partition selectivities.
+
+        Vectorised like :meth:`indicator_batch`: instead of one distance
+        call per ``(row, partition)`` pair, each row is scanned against the
+        whole database once and the counts are segment-summed by partition.
+        Per-row distance kernels are bit-stable under row subsetting, so
+        the counts are bit-identical to the former per-partition loop.
         """
         queries = np.asarray(queries, dtype=np.float64)
         thresholds = np.asarray(thresholds, dtype=np.float64)
-        out = np.zeros((len(queries), self.num_partitions), dtype=np.float64)
-        for k, partition in enumerate(self.partitions):
-            local_data = self.data[partition.point_indices]
-            if len(local_data) == 0:
-                continue
-            for i, (query, threshold) in enumerate(zip(queries, thresholds)):
-                distances = self.distance(query, local_data)
-                out[i, k] = float(np.count_nonzero(distances <= threshold))
+        num_rows = len(queries)
+        out = np.zeros((num_rows, self.num_partitions), dtype=np.float64)
+        if num_rows == 0 or len(self.data) == 0:
+            return out
+        partition_ids = self._partition_ids()
+
+        if self.distance.name == "euclidean":
+            # Fully vectorised: chunked (rows, n, dim) difference tensor —
+            # the einsum reduction per (row, object) pair matches the
+            # per-row kernel bit for bit — then one GEMM against the
+            # partition one-hot matrix (0/1 sums in float64 are exact).
+            onehot = np.zeros((len(self.data), self.num_partitions), dtype=np.float64)
+            onehot[np.arange(len(self.data)), partition_ids] = 1.0
+            budget = 32 * 1024 * 1024
+            chunk = int(max(budget // (8 * self.data.shape[0] * self.data.shape[1]), 1))
+            for start in range(0, num_rows, chunk):
+                stop = min(start + chunk, num_rows)
+                diff = self.data[None, :, :] - queries[start:stop, None, :]
+                distances = np.sqrt(
+                    np.maximum(np.einsum("qnd,qnd->qn", diff, diff), 0.0)
+                )
+                mask = (distances <= thresholds[start:stop, None]).astype(np.float64)
+                out[start:stop] = mask @ onehot
+            return out
+
+        # Cosine (and any other kernel): one full-database scan per row with
+        # the norm pass hoisted out of the loop, segment-summed by partition.
+        data_norms = None
+        if self.distance.name == "cosine":
+            data_norms = np.linalg.norm(self.data, axis=1)
+        for i in range(num_rows):
+            if data_norms is not None:
+                distances = cosine_distance_with_norms(queries[i], self.data, data_norms)
+            else:
+                distances = self.distance(queries[i], self.data)
+            mask = (distances <= thresholds[i]).astype(np.float64)
+            out[i] = np.bincount(
+                partition_ids, weights=mask, minlength=self.num_partitions
+            )
         return out
 
 
