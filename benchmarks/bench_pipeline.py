@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Pipeline benchmark: per-stage wall-clock and cache-hit stats, cold vs warm.
+
+Unlike the ``bench_table*.py`` / ``bench_figure*.py`` files (pytest-benchmark
+reproductions of individual paper tables), this is a standalone script — like
+``repro oracle-bench`` / ``repro infer-bench`` it tracks one of the repo's own
+hot paths: the declarative experiment pipeline (:mod:`repro.pipeline`).
+
+It runs one experiment **twice** against a throwaway artifact store:
+
+* **cold** — empty store, every stage (dataset synthesis, exact workload
+  labeling, model training, evaluation) is built and persisted;
+* **warm** — same specs again, asserting every stage replays from the store
+  (100 % cache hits) and measuring the replay cost.
+
+The committed ``BENCH_pipeline.json`` at the repo root records the numbers::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --output BENCH_pipeline.json
+
+Use ``--scale tiny`` / ``--models KDE,LightGBM-m`` for a quick smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.eval import run_setting
+from repro.experiments import get_scale
+from repro.pipeline import ArtifactStore, use_store
+
+DEFAULT_MODELS = "LSH,KDE,LightGBM,LightGBM-m,DNN,RMI,SelNet"
+
+
+def run_pipeline_benchmark(
+    setting: str = "face-cos",
+    scale_name: str = "small",
+    models=None,
+    seed: int = 0,
+    num_workers=None,
+    store_root=None,
+):
+    """Cold + warm pipeline passes over one accuracy experiment.
+
+    ``store_root`` must name a directory shared by both passes — each pass
+    constructs its own ``ArtifactStore`` instance over it, so the warm pass
+    sees only what the cold pass persisted to disk.
+    """
+    if store_root is None:
+        raise ValueError(
+            "store_root is required: the warm pass can only replay artifacts "
+            "the cold pass persisted to a shared on-disk store"
+        )
+    scale = get_scale(scale_name)
+    models = list(models) if models else DEFAULT_MODELS.split(",")
+
+    passes = {}
+    for label in ("cold", "warm"):
+        store = ArtifactStore(store_root)
+        start = time.perf_counter()
+        with use_store(store):
+            evaluation = run_setting(
+                setting, scale, models=models, seed=seed, num_workers=num_workers
+            )
+        elapsed = time.perf_counter() - start
+        report = evaluation.pipeline_report
+        passes[label] = {
+            "elapsed_seconds": elapsed,
+            "pipeline": report.as_dict(),
+            "store_stats": store.stats.as_dict(),
+        }
+
+    cold, warm = passes["cold"], passes["warm"]
+    summary = {
+        "benchmark": "repro-pipeline",
+        "metadata": {
+            "setting": setting,
+            "scale": scale.name,
+            "models": models,
+            "seed": seed,
+            "store": str(store_root),
+        },
+        "cold": cold,
+        "warm": warm,
+        "speedup_warm_over_cold": cold["elapsed_seconds"]
+        / max(warm["elapsed_seconds"], 1e-9),
+        "warm_all_cached": warm["pipeline"]["all_cached"],
+    }
+    return summary
+
+
+def format_report(summary) -> str:
+    lines = [
+        f"Pipeline benchmark: {summary['metadata']['setting']} "
+        f"[{summary['metadata']['scale']} scale], "
+        f"{len(summary['metadata']['models'])} models",
+        f"{'stage':<46} {'cold (s)':>10} {'warm (s)':>10} {'warm src':>9}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    warm_by_hash = {
+        stage["hash"]: stage for stage in summary["warm"]["pipeline"]["stages"]
+    }
+    for stage in summary["cold"]["pipeline"]["stages"]:
+        warm_stage = warm_by_hash.get(stage["hash"])
+        if warm_stage is None:
+            # Warm runs prune upstream stages whose dependents replay from
+            # their own artifacts — the best case: zero warm cost.
+            lines.append(f"{stage['name']:<46} {stage['seconds']:>10.3f} {'-':>10} {'pruned':>9}")
+            continue
+        source = warm_stage.get("cached") or "built"
+        lines.append(
+            f"{stage['name']:<46} {stage['seconds']:>10.3f} "
+            f"{warm_stage['seconds']:>10.3f} {source:>9}"
+        )
+    lines.append(
+        f"total: cold {summary['cold']['elapsed_seconds']:.2f} s, "
+        f"warm {summary['warm']['elapsed_seconds']:.2f} s "
+        f"({summary['speedup_warm_over_cold']:.1f}x), "
+        f"warm cache hits "
+        f"{summary['warm']['pipeline']['cache_hits']}/"
+        f"{len(summary['warm']['pipeline']['stages'])}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--setting", default="face-cos")
+    parser.add_argument("--scale", default="small", help="tiny, small or medium")
+    parser.add_argument(
+        "--models", default=DEFAULT_MODELS, help="comma-separated display names"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--num-workers", type=int, default=None)
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="store directory to benchmark against (default: a temp dir)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report here (e.g. BENCH_pipeline.json)"
+    )
+    args = parser.parse_args(argv)
+
+    temp_root = None
+    store_root = args.store
+    if store_root is None:
+        temp_root = tempfile.mkdtemp(prefix="repro-bench-pipeline-")
+        store_root = temp_root
+    try:
+        summary = run_pipeline_benchmark(
+            setting=args.setting,
+            scale_name=args.scale,
+            models=[name for name in args.models.split(",") if name],
+            seed=args.seed,
+            num_workers=args.num_workers,
+            store_root=store_root,
+        )
+    finally:
+        if temp_root is not None:
+            shutil.rmtree(temp_root, ignore_errors=True)
+
+    print(format_report(summary))
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    if not summary["warm_all_cached"]:
+        print("FAILURE: warm pass was not fully cached", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,18 @@ from .distances import get_distance
 from .estimator import SelectivityEstimator, UpdateNotSupportedError
 from .exact import BlockedOracle, DeltaOracle, ReferenceOracle
 from .persistence import load_estimator, read_metadata, save_estimator
+from .pipeline import (
+    ArtifactStore,
+    DatasetSpec,
+    EvalSpec,
+    ExperimentSpec,
+    PipelineRunner,
+    TrainSpec,
+    WorkloadSpec,
+    get_active_store,
+    set_active_store,
+    use_store,
+)
 from .registry import (
     EstimatorSpec,
     available_estimators,
@@ -72,7 +84,7 @@ from .registry import (
     register_estimator,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SelectivityEstimator",
@@ -105,5 +117,15 @@ __all__ = [
     "DeltaOracle",
     "ReferenceOracle",
     "get_distance",
+    "ArtifactStore",
+    "DatasetSpec",
+    "WorkloadSpec",
+    "TrainSpec",
+    "EvalSpec",
+    "ExperimentSpec",
+    "PipelineRunner",
+    "use_store",
+    "set_active_store",
+    "get_active_store",
     "__version__",
 ]

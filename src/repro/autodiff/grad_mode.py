@@ -1,43 +1,51 @@
-"""Global gradient-recording switch (``no_grad`` / ``enable_grad``).
+"""Gradient-recording switch (``no_grad`` / ``enable_grad``), thread-local.
 
 Training builds the full reverse-mode tape; inference only needs the forward
-values.  The context managers in this module flip a process-wide flag that
+values.  The context managers in this module flip a flag that
 :meth:`repro.autodiff.Tensor._make` consults: while gradient recording is
 disabled, every operation returns a plain leaf tensor — no parent references,
 no backward closures kept alive, no graph to topologically sort — so
 graph-mode inference stops paying the tape's memory and bookkeeping costs
 even where the compiled inference path (:mod:`repro.inference`) is not used.
 
-The flag is intentionally process-global rather than thread-local: the
-library's execution model is single-threaded per process (the cluster tier
-scales with worker *processes*), and a plain module attribute keeps the
-per-operation check as cheap as possible on the hot path.
+The flag is **thread-local** (like PyTorch's grad mode): the pipeline runner
+(:mod:`repro.pipeline.runner`) trains independent experiment branches on a
+thread pool, and a serving path entering ``no_grad`` on one thread must
+never disable tape construction for a training loop running on another.
+Each thread starts with recording enabled.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
-_grad_enabled: bool = True
+class _GradState(threading.local):
+    """Per-thread recording flag; the class attribute is each thread's default,
+    so the hot-path check stays a plain attribute read (no getattr fallback)."""
+
+    enabled = True
+
+
+_state = _GradState()
 
 
 def is_grad_enabled() -> bool:
-    """Whether operations currently record the backward graph."""
-    return _grad_enabled
+    """Whether operations on this thread currently record the backward graph."""
+    return _state.enabled
 
 
 def set_grad_enabled(enabled: bool) -> bool:
-    """Set the global gradient-recording flag; returns the previous value."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = bool(enabled)
+    """Set this thread's gradient-recording flag; returns the previous value."""
+    previous = _state.enabled
+    _state.enabled = bool(enabled)
     return previous
 
 
 @contextmanager
 def no_grad() -> Iterator[None]:
-    """Disable gradient recording for the enclosed block.
+    """Disable gradient recording for the enclosed block (this thread only).
 
     Inside the block every autodiff operation produces a graph-free tensor
     (``requires_grad=False``, no parents, no backward closure), making
@@ -53,7 +61,7 @@ def no_grad() -> Iterator[None]:
 
 @contextmanager
 def enable_grad() -> Iterator[None]:
-    """Force gradient recording on for the enclosed block.
+    """Force gradient recording on for the enclosed block (this thread only).
 
     The inverse escape hatch: code running under :func:`no_grad` (e.g. a
     serving path) can still build a tape locally — used by the inference

@@ -146,10 +146,10 @@ class Tensor:
         name: str = "",
     ) -> "Tensor":
         # requires_grad propagation: an output records the tape only when at
-        # least one parent participates in it AND recording is globally on
-        # (see repro.autodiff.grad_mode) — otherwise the backward closure is
-        # dropped immediately and the result is a plain leaf.
-        if not grad_mode._grad_enabled:
+        # least one parent participates in it AND recording is on for this
+        # thread (see repro.autodiff.grad_mode) — otherwise the backward
+        # closure is dropped immediately and the result is a plain leaf.
+        if not grad_mode._state.enabled:
             return Tensor(data, requires_grad=False, name=name)
         requires_grad = any(p.requires_grad for p in parents)
         if not requires_grad:

@@ -4,8 +4,14 @@ Usage::
 
     repro list                                  # available experiments
     repro table 3                               # Table 3 (face-cos accuracy)
+    repro table accuracy                        # alias for table 1
     repro table 6 --scale tiny                  # ablation at the tiny scale
     repro figure 4 --output fig4.txt
+
+    repro run accuracy                          # pipeline run (store-cached)
+    repro run smoke --expect-all-cached         # CI warm-cache assertion
+    repro artifacts list                        # what the store holds
+    repro artifacts gc --older-than-days 30     # evict stale artifacts
 
     repro models                                # the estimator registry
     repro train selnet --setting face-cos --scale tiny --out models/selnet-faces
@@ -16,10 +22,14 @@ Usage::
     repro cluster-bench models/selnet-faces --shards 4    # sharded serving tier
 
 (``repro`` is the console script installed by ``setup.py``; ``python -m
-repro`` and ``python -m repro.cli`` are equivalent.)  Each experiment command
-runs the corresponding function from :mod:`repro.experiments`; the lifecycle
-commands are thin consumers of :mod:`repro.registry`,
-:mod:`repro.persistence` and :mod:`repro.serving`.
+repro`` and ``python -m repro.cli`` are equivalent.)  The experiment
+commands (``run`` / ``table`` / ``figure``) execute spec-driven pipelines
+against a content-addressed artifact store (:mod:`repro.pipeline`) —
+default root ``$REPRO_ARTIFACTS`` or ``.repro-artifacts``, disable with
+``--no-store`` — so repeated runs replay cached datasets, labeled workloads
+and trained models instead of recomputing them.  The lifecycle commands are
+thin consumers of :mod:`repro.registry`, :mod:`repro.persistence` and
+:mod:`repro.serving`.
 """
 
 from __future__ import annotations
@@ -45,61 +55,241 @@ from .experiments import (
     run_timing_table,
 )
 
-#: table number -> (description, runner taking a scale)
+#: table number -> (description, runner taking scale/seed/worker kwargs)
 TABLE_RUNNERS: Dict[int, tuple] = {
-    1: ("Accuracy on fasttext-cos", lambda scale: run_accuracy_table("fasttext-cos", scale=scale)),
-    2: ("Accuracy on fasttext-l2", lambda scale: run_accuracy_table("fasttext-l2", scale=scale)),
-    3: ("Accuracy on face-cos", lambda scale: run_accuracy_table("face-cos", scale=scale)),
-    4: ("Accuracy on YouTube-cos", lambda scale: run_accuracy_table("youtube-cos", scale=scale)),
-    5: ("Empirical monotonicity", lambda scale: run_monotonicity_table(scale=scale)),
-    6: ("Ablation study", lambda scale: run_ablation_table(scale=scale)),
-    7: ("Estimation time", lambda scale: run_timing_table(scale=scale)),
-    8: ("Control-point sweep", lambda scale: run_control_point_sweep(scale=scale)),
-    9: ("Partition-size sweep", lambda scale: run_partition_size_sweep(scale=scale)),
-    10: ("Partitioning methods", lambda scale: run_partition_method_table(scale=scale)),
+    1: ("Accuracy on fasttext-cos", lambda **kw: run_accuracy_table("fasttext-cos", **kw)),
+    2: ("Accuracy on fasttext-l2", lambda **kw: run_accuracy_table("fasttext-l2", **kw)),
+    3: ("Accuracy on face-cos", lambda **kw: run_accuracy_table("face-cos", **kw)),
+    4: ("Accuracy on YouTube-cos", lambda **kw: run_accuracy_table("youtube-cos", **kw)),
+    5: ("Empirical monotonicity", lambda **kw: run_monotonicity_table(**kw)),
+    6: ("Ablation study", lambda **kw: run_ablation_table(**kw)),
+    7: ("Estimation time", lambda **kw: run_timing_table(**kw)),
+    8: ("Control-point sweep", lambda **kw: run_control_point_sweep(**kw)),
+    9: ("Partition-size sweep", lambda **kw: run_partition_size_sweep(**kw)),
+    10: ("Partitioning methods", lambda **kw: run_partition_method_table(**kw)),
     11: (
         "Beta-distributed thresholds",
-        lambda scale: run_accuracy_table("fasttext-cos", scale=scale, threshold_distribution="beta"),
+        lambda **kw: run_accuracy_table("fasttext-cos", threshold_distribution="beta", **kw),
     ),
 }
 
-FIGURE_RUNNERS: Dict[int, tuple] = {
-    3: ("DLN vs SelNet on exp(t)/10", lambda scale: figure3_dln_vs_selnet()),
-    4: ("Learned control points", lambda scale: figure4_control_points(scale=scale)),
-    5: ("Accuracy under updates", lambda scale: figure5_updates(scale=scale)),
+#: human-friendly table aliases (``repro table accuracy``)
+TABLE_ALIASES: Dict[str, int] = {
+    "accuracy": 1,
+    "fasttext-cos": 1,
+    "fasttext-l2": 2,
+    "face-cos": 3,
+    "youtube-cos": 4,
+    "monotonicity": 5,
+    "ablation": 6,
+    "timing": 7,
+    "control-points": 8,
+    "partition-size": 9,
+    "partition-methods": 10,
+    "beta-thresholds": 11,
+    "beta": 11,
 }
+
+FIGURE_RUNNERS: Dict[int, tuple] = {
+    3: (
+        "DLN vs SelNet on exp(t)/10",
+        lambda scale=None, seed=0, **kw: figure3_dln_vs_selnet(seed=seed),
+    ),
+    4: ("Learned control points", lambda **kw: figure4_control_points(**kw)),
+    5: ("Accuracy under updates", lambda **kw: figure5_updates(**kw)),
+}
+
+
+#: the smoke experiment always runs at this scale, whatever --scale says
+SMOKE_SCALE = "tiny"
+
+
+def _smoke_experiment(scale=None, **kw):
+    """Tiny end-to-end pipeline experiment for CI (seconds, two models)."""
+    return run_accuracy_table(
+        "face-cos", scale=get_scale(SMOKE_SCALE), models=("KDE", "LightGBM-m"), **kw
+    )
+
+
+#: ``repro run`` experiment catalog: name -> (description, runner)
+EXPERIMENTS: Dict[str, tuple] = {}
+for _number, (_description, _runner) in TABLE_RUNNERS.items():
+    EXPERIMENTS[f"table{_number}"] = (_description, _runner)
+for _number, (_description, _runner) in FIGURE_RUNNERS.items():
+    EXPERIMENTS[f"figure{_number}"] = (_description, _runner)
+for _alias, _number in TABLE_ALIASES.items():
+    EXPERIMENTS.setdefault(_alias, TABLE_RUNNERS[_number])
+EXPERIMENTS["smoke"] = ("Tiny end-to-end pipeline smoke experiment", _smoke_experiment)
+
+
+# ---------------------------------------------------------------------- #
+# Shared parent parsers (one definition for every subcommand)
+# ---------------------------------------------------------------------- #
+def _positive_int(raw: str) -> int:
+    """argparse type: a strictly positive integer (clean error, no traceback)."""
+    value = int(raw)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+
+def _engine_parent(num_workers_default: Optional[int] = None) -> argparse.ArgumentParser:
+    """``--num-workers`` / ``--block-kib`` / ``--progress`` for every command
+    that labels workloads or schedules pipeline stages.
+
+    Each subparser gets its own parent instance — argparse shares action
+    objects across ``parents=`` users, so a per-command default override
+    (oracle-bench's historical 4 threads) must not leak into the others.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("labeling engine / pipeline")
+    group.add_argument(
+        "--num-workers",
+        type=int,
+        default=num_workers_default,
+        help="oracle labeling threads and pipeline stage workers (default: auto)",
+    )
+    group.add_argument(
+        "--block-kib",
+        type=_positive_int,
+        default=None,
+        help="labeling-engine block budget in KiB (default: auto)",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="log ground-truth labeling progress to stderr",
+    )
+    return parent
+
+
+def _seed_parent(default: int = 0) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=default)
+    return parent
+
+
+def _store_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("artifact store")
+    group.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="artifact store root (default: $REPRO_ARTIFACTS or .repro-artifacts)",
+    )
+    group.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable artifact caching for this run",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="SelNet reproduction: paper experiments, training, persistence, serving.",
+        description="SelNet reproduction: paper experiments, pipeline, training, serving.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def engine(num_workers_default=None):
+        return _engine_parent(num_workers_default)
+
+    def seed0():
+        return _seed_parent(0)
+
+    def store():
+        return _store_parent()
+
     subparsers.add_parser("list", help="list the available experiments")
 
-    table_parser = subparsers.add_parser("table", help="reproduce one table (1-11)")
-    table_parser.add_argument("number", type=int, choices=sorted(TABLE_RUNNERS))
+    table_parser = subparsers.add_parser(
+        "table",
+        help="reproduce one table (1-11, or an alias like 'accuracy')",
+        parents=[engine(), seed0(), store()],
+    )
+    table_parser.add_argument(
+        "number",
+        choices=[str(number) for number in sorted(TABLE_RUNNERS)] + sorted(TABLE_ALIASES),
+        help="table number (1-11) or alias",
+    )
     table_parser.add_argument("--scale", default="small", help="tiny, small or medium")
     table_parser.add_argument("--output", default=None, help="also write the table to this file")
-    table_parser.add_argument(
-        "--num-workers",
-        type=int,
-        default=None,
-        help="oracle labeling threads for workload generation (default: auto)",
-    )
 
-    figure_parser = subparsers.add_parser("figure", help="reproduce one figure (3-5)")
+    figure_parser = subparsers.add_parser(
+        "figure", help="reproduce one figure (3-5)", parents=[engine(), seed0(), store()]
+    )
     figure_parser.add_argument("number", type=int, choices=sorted(FIGURE_RUNNERS))
     figure_parser.add_argument("--scale", default="small", help="tiny, small or medium")
     figure_parser.add_argument("--output", default=None, help="also write the figure text to this file")
-    figure_parser.add_argument(
-        "--num-workers",
-        type=int,
-        default=None,
-        help="oracle labeling threads for workload generation (default: auto)",
+
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run a named experiment through the cached pipeline",
+        parents=[engine(), seed0(), store()],
     )
+    run_parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help=f"experiment name ({', '.join(sorted(EXPERIMENTS))}); defaults to "
+        "'smoke' with --smoke",
+    )
+    run_parser.add_argument("--scale", default="small", help="tiny, small or medium")
+    run_parser.add_argument("--output", default=None, help="also write the result text to this file")
+    run_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the tiny CI smoke experiment (overrides the experiment name)",
+    )
+    run_parser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write per-stage wall-clock and cache statistics as JSON",
+    )
+    run_parser.add_argument(
+        "--expect-all-cached",
+        action="store_true",
+        help="exit non-zero unless every pipeline stage was a cache hit",
+    )
+
+    artifacts_parser = subparsers.add_parser(
+        "artifacts", help="inspect or garbage-collect the artifact store"
+    )
+    # Only --store here: "--no-store" would be a silently ignored contradiction
+    # for a command whose entire job is store interaction.
+    artifacts_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="artifact store root (default: $REPRO_ARTIFACTS or .repro-artifacts)",
+    )
+    artifacts_parser.add_argument("action", choices=("list", "gc", "path"))
+    artifacts_parser.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        choices=("dataset", "workload", "train", "eval"),
+        help="restrict to artifact kinds; repeatable",
+    )
+    artifacts_parser.add_argument(
+        "--older-than-days",
+        type=float,
+        default=None,
+        help="gc: only evict artifacts not used for this many days",
+    )
+    artifacts_parser.add_argument(
+        "--dry-run", action="store_true", help="gc: report what would be removed"
+    )
+    artifacts_parser.add_argument(
+        "--all",
+        action="store_true",
+        help="gc: confirm wiping the whole store (required when no filter is given)",
+    )
+    artifacts_parser.add_argument("--json", action="store_true", help="emit JSON")
 
     models_parser = subparsers.add_parser(
         "models", help="list registered estimators and their capabilities"
@@ -110,12 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
     models_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     train_parser = subparsers.add_parser(
-        "train", help="fit a registered estimator on a paper setting and save it"
+        "train",
+        help="fit a registered estimator on a paper setting and save it",
+        parents=[engine(), seed0()],
     )
     train_parser.add_argument("estimator", help="registry name (see `repro models`)")
     train_parser.add_argument("--setting", default="face-cos", help="fasttext-cos, fasttext-l2, face-cos or youtube-cos")
     train_parser.add_argument("--scale", default="tiny", help="tiny, small or medium")
-    train_parser.add_argument("--seed", type=int, default=0)
     train_parser.add_argument("--out", required=True, help="directory to save the fitted estimator to")
     train_parser.add_argument(
         "--param",
@@ -123,17 +314,6 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE",
         help="hyper-parameter override (repeatable), e.g. --param epochs=30",
-    )
-    train_parser.add_argument(
-        "--num-workers",
-        type=int,
-        default=None,
-        help="oracle labeling threads for workload generation (default: auto)",
-    )
-    train_parser.add_argument(
-        "--progress",
-        action="store_true",
-        help="log ground-truth labeling progress to stderr",
     )
 
     estimate_parser = subparsers.add_parser(
@@ -145,7 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
     estimate_parser.add_argument("--seed", type=int, default=None, help="override the recorded seed")
 
     bench_parser = subparsers.add_parser(
-        "serve-bench", help="benchmark the serving layer against a saved estimator"
+        "serve-bench",
+        help="benchmark the serving layer against a saved estimator",
+        parents=[engine(), seed0()],
     )
     bench_parser.add_argument("model", help="path to a saved estimator directory")
     bench_parser.add_argument("--requests", type=int, default=2000)
@@ -171,11 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="request pool: the test fold or every workload fold",
     )
     bench_parser.add_argument("--no-cache", action="store_true", help="bypass the curve cache")
-    bench_parser.add_argument("--seed", type=int, default=0)
 
     infer_parser = subparsers.add_parser(
         "infer-bench",
         help="benchmark compiled (pure-NumPy) vs graph (autodiff) inference",
+        parents=[engine(), seed0()],
     )
     infer_parser.add_argument(
         "models", nargs="+", help="paths to saved estimator directories"
@@ -209,11 +391,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1e-12,
         help="largest tolerated |compiled - graph| estimate deviation",
     )
-    infer_parser.add_argument("--seed", type=int, default=0)
 
     oracle_parser = subparsers.add_parser(
         "oracle-bench",
         help="benchmark the blocked exact-selectivity engine vs the per-query oracle",
+        # historical default: 4 engine threads (the committed BENCH_oracle.json)
+        parents=[engine(num_workers_default=4), seed0()],
     )
     oracle_parser.add_argument("--n", type=int, default=50_000, help="database size")
     oracle_parser.add_argument("--dim", type=int, default=128, help="vector dimensionality")
@@ -223,12 +406,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     oracle_parser.add_argument(
         "--distance", default="euclidean", help="euclidean or cosine"
-    )
-    oracle_parser.add_argument(
-        "--num-workers", type=int, default=4, help="engine thread-pool width"
-    )
-    oracle_parser.add_argument(
-        "--block-kib", type=int, default=None, help="engine block budget in KiB"
     )
     oracle_parser.add_argument(
         "--delta-ops", type=int, default=20, help="update operations in the delta-replay phase"
@@ -252,11 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="quick CI mode: small database (the exact-parity gate is always asserted)",
     )
-    oracle_parser.add_argument("--seed", type=int, default=0)
 
     cluster_parser = subparsers.add_parser(
         "cluster-bench",
         help="benchmark the sharded estimation cluster against a saved estimator",
+        parents=[engine(), seed0()],
     )
     cluster_parser.add_argument("model", help="path to a saved estimator directory")
     cluster_parser.add_argument("--shards", type=int, default=2, help="number of worker shards")
@@ -309,19 +486,189 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the single-process serve-bench comparison run",
     )
-    cluster_parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
-def _run(runner: Callable, scale_name: str, output: Optional[str]) -> str:
-    scale = get_scale(scale_name)
-    result = runner(scale)
-    text = result.text
-    print(text)
-    if output:
-        with open(output, "w") as handle:
-            handle.write(text + "\n")
-    return text
+# ---------------------------------------------------------------------- #
+# Pipeline-backed experiment execution
+# ---------------------------------------------------------------------- #
+def _block_bytes(args) -> Optional[int]:
+    """The --block-kib flag as an engine byte budget (None = auto)."""
+    block_kib = getattr(args, "block_kib", None)
+    return None if block_kib is None else block_kib * 1024
+
+
+def _engine_options_from(args) -> Dict:
+    """Labeling-engine tuning from the shared parent-parser flags.
+
+    ``--num-workers`` is deliberately NOT copied here for the pipeline
+    commands: it feeds the runner's stage pool (and the process-wide engine
+    default via ``main``), and the runner derives each labeling stage's
+    engine share from that total — pinning it here would bypass the
+    anti-oversubscription split and run pool-width x engine-width threads.
+    """
+    options: Dict = {}
+    if _block_bytes(args) is not None:
+        options["block_bytes"] = _block_bytes(args)
+    if getattr(args, "progress", False):
+        options["progress"] = True
+    return options
+
+
+def _store_from(args):
+    """The artifact store selected by the shared --store / --no-store flags."""
+    from .pipeline import ArtifactStore
+
+    if getattr(args, "no_store", False):
+        return None
+    return ArtifactStore.from_env(getattr(args, "store", None))
+
+
+def _execute_experiment(runner: Callable, args):
+    """Shared table / figure / run core: resolve the store, activate it,
+    execute the runner with the shared-flag kwargs, write ``--output``.
+
+    Returns ``(result, store, elapsed_seconds)``.
+    """
+    from .pipeline import use_store
+
+    scale = get_scale(args.scale)
+    store = _store_from(args)
+    started = time.perf_counter()
+    with use_store(store):
+        result = runner(
+            scale=scale,
+            seed=args.seed,
+            num_workers=getattr(args, "num_workers", None),
+            engine_options=_engine_options_from(args),
+        )
+    elapsed = time.perf_counter() - started
+    print(result.text)
+    if getattr(args, "output", None):
+        with open(args.output, "w") as handle:
+            handle.write(result.text + "\n")
+    return result, store, elapsed
+
+
+def _run_experiment(runner: Callable, args) -> object:
+    """``repro table`` / ``repro figure``: execute + one summary line."""
+    result, store, _ = _execute_experiment(runner, args)
+    report = getattr(result, "pipeline_report", None)
+    if report is not None and store is not None:
+        print(
+            f"[pipeline] {report.cache_hits} cached / {report.cache_misses} built "
+            f"stages in {report.total_seconds:.2f} s (store: {store.root})",
+            file=sys.stderr,
+        )
+    return result
+
+
+def _cmd_run(args) -> int:
+    name = "smoke" if args.smoke else args.experiment
+    if name is None:
+        raise SystemExit("error: name an experiment (or pass --smoke); see `repro list`")
+    key = name.lower()
+    if key not in EXPERIMENTS:
+        raise SystemExit(
+            f"error: unknown experiment {name!r}; choose from {', '.join(sorted(EXPERIMENTS))}"
+        )
+    description, runner = EXPERIMENTS[key]
+    if getattr(args, "no_store", False) and args.expect_all_cached:
+        raise SystemExit("error: --expect-all-cached needs an artifact store (drop --no-store)")
+
+    result, store, elapsed = _execute_experiment(runner, args)
+
+    report = getattr(result, "pipeline_report", None)
+    stats = None if store is None else store.stats
+    if report is not None:
+        print(report.text, file=sys.stderr)
+    if stats is not None:
+        print(
+            f"[store] {stats.hits} hits ({stats.hits_disk} disk) / {stats.misses} misses "
+            f"at {store.root}",
+            file=sys.stderr,
+        )
+
+    if args.stats_json:
+        payload = {
+            "experiment": key,
+            "description": description,
+            # The smoke experiment pins its scale regardless of --scale;
+            # record what actually ran.
+            "scale": SMOKE_SCALE if key == "smoke" else get_scale(args.scale).name,
+            "seed": args.seed,
+            "elapsed_seconds": elapsed,
+            "store": None if store is None else str(store.root),
+            "store_stats": None if stats is None else stats.as_dict(),
+            "pipeline": None if report is None else report.as_dict(),
+            "all_cached": stats is not None and stats.misses == 0,
+        }
+        with open(args.stats_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.stats_json}")
+
+    if args.expect_all_cached and stats is not None:
+        if stats.misses > 0:
+            raise SystemExit(
+                f"cache-miss failure: expected a fully warm store but {stats.misses} "
+                f"stage(s) had to be built (stats: {stats.as_dict()})"
+            )
+        if stats.hits == 0:
+            # 0 hits / 0 misses means the experiment never touched the store;
+            # a warm-cache assertion over it would pass vacuously forever.
+            raise SystemExit(
+                f"cache-assertion failure: experiment {key!r} ran no store-backed "
+                "stages, so --expect-all-cached cannot attest anything"
+            )
+    return 0
+
+
+def _cmd_artifacts(args) -> int:
+    from .pipeline import ArtifactStore
+
+    store = ArtifactStore.from_env(args.store)
+    if args.action == "path":
+        print(store.root)
+        return 0
+    if args.action == "gc":
+        if args.kind is None and args.older_than_days is None and not (args.all or args.dry_run):
+            raise SystemExit(
+                "error: a bare gc would delete every artifact; pass --kind / "
+                "--older-than-days to filter, --all to confirm a full wipe, or --dry-run"
+            )
+        older_than = (
+            None if args.older_than_days is None else args.older_than_days * 86400.0
+        )
+        summary = store.gc(kinds=args.kind, older_than_seconds=older_than, dry_run=args.dry_run)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            verb = "would remove" if args.dry_run else "removed"
+            print(
+                f"{verb} {len(summary['removed'])} artifact(s), "
+                f"{summary['removed_bytes']} bytes; swept {summary['temp_dirs_swept']} temp dir(s)"
+            )
+        return 0
+
+    entries = store.list_artifacts(args.kind)
+    if args.json:
+        print(json.dumps({"store": str(store.root), "artifacts": entries}, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"(no artifacts under {store.root})")
+        return 0
+    header = f"{'kind':<10} {'hash':<18} {'size':>10} {'built in':>10}  description"
+    print(header)
+    print("-" * len(header))
+    for entry in entries:
+        print(
+            f"{entry['kind']:<10} {entry['hash']:<18} {entry['size_bytes']:>10} "
+            f"{entry['build_seconds']:>9.2f}s  {entry['description']}"
+        )
+    total_bytes = sum(entry["size_bytes"] for entry in entries)
+    print(f"total: {len(entries)} artifact(s), {total_bytes} bytes at {store.root}")
+    return 0
 
 
 # ---------------------------------------------------------------------- #
@@ -385,13 +732,19 @@ def _build_split_for(
     scale_name: str,
     seed: int,
     num_workers: Optional[int] = None,
+    block_bytes: Optional[int] = None,
     progress: bool = False,
 ):
     from .eval.harness import build_setting_split
 
     scale = get_scale(scale_name)
     return scale, build_setting_split(
-        setting, scale, seed=seed, num_workers=num_workers, progress=progress or None
+        setting,
+        scale,
+        seed=seed,
+        num_workers=num_workers,
+        block_bytes=block_bytes,
+        progress=progress or None,
     )
 
 
@@ -418,6 +771,7 @@ def _cmd_train(args) -> int:
         args.scale,
         args.seed,
         num_workers=args.num_workers,
+        block_bytes=_block_bytes(args),
         progress=bool(args.progress),
     )
     if not spec.supports_distance(split.distance.name):
@@ -487,7 +841,7 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
-def _bench_split(model_path: Path):
+def _bench_split(model_path: Path, args=None):
     recorded = _recorded_training(model_path)
     setting = recorded.get("setting")
     scale_name = recorded.get("scale")
@@ -497,7 +851,14 @@ def _bench_split(model_path: Path):
             f"{model_path} does not record its training setting/scale, cannot "
             "regenerate a request workload"
         )
-    _, split = _build_split_for(setting, scale_name, seed)
+    _, split = _build_split_for(
+        setting,
+        scale_name,
+        seed,
+        num_workers=getattr(args, "num_workers", None),
+        block_bytes=_block_bytes(args),
+        progress=bool(getattr(args, "progress", False)),
+    )
     return split
 
 
@@ -518,7 +879,7 @@ def _cmd_serve_bench(args) -> int:
     from .serving import EstimationService, run_serving_benchmark
 
     model_path = Path(args.model)
-    split = _bench_split(model_path)
+    split = _bench_split(model_path, args)
     queries, thresholds = _bench_pool(split, args.pool)
 
     service = EstimationService(
@@ -568,7 +929,7 @@ def _cmd_infer_bench(args) -> int:
     )
     for raw_path in args.models:
         model_path = Path(raw_path)
-        split = _bench_split(model_path)
+        split = _bench_split(model_path, args)
         queries, thresholds = _bench_pool(split, args.pool)
         estimator = SelectivityEstimator.load(model_path)
         partial = run_inference_benchmark(
@@ -617,7 +978,7 @@ def _cmd_oracle_bench(args) -> int:
         thresholds_per_query=thresholds_per_query,
         distance=args.distance,
         num_workers=args.num_workers,
-        block_bytes=args.block_kib * 1024 if args.block_kib else None,
+        block_bytes=_block_bytes(args),
         delta_operations=delta_operations,
         include_delta=not args.no_delta,
         seed=args.seed,
@@ -647,7 +1008,7 @@ def _cmd_cluster_bench(args) -> int:
     from .serving import EstimationService, run_serving_benchmark
 
     model_path = Path(args.model)
-    split = _bench_split(model_path)
+    split = _bench_split(model_path, args)
     queries, thresholds = _bench_pool(split, args.pool)
 
     config = ClusterConfig(
@@ -719,26 +1080,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("Figures:")
         for number, (description, _) in sorted(FIGURE_RUNNERS.items()):
             print(f"  figure {number}  {description}")
+        print("Experiments (repro run):")
+        for name, (description, _) in sorted(EXPERIMENTS.items()):
+            print(f"  run {name:<18} {description}")
         return 0
 
-    if args.command == "table":
-        if args.num_workers is not None:
-            from .exact import set_default_num_workers
+    # The shared --num-workers flag also sets the process-wide engine default
+    # so code paths that build oracles internally inherit it.  oracle-bench
+    # is excluded: its parent carries a historical per-command default of 4
+    # that is passed explicitly to the benchmark and must not silently
+    # become the global engine default.
+    if getattr(args, "num_workers", None) is not None and args.command != "oracle-bench":
+        from .exact import set_default_num_workers
 
-            set_default_num_workers(args.num_workers)
-        _, runner = TABLE_RUNNERS[args.number]
-        _run(runner, args.scale, args.output)
+        set_default_num_workers(args.num_workers)
+
+    if args.command == "table":
+        number = TABLE_ALIASES.get(args.number, None)
+        if number is None:
+            number = int(args.number)
+        _, runner = TABLE_RUNNERS[number]
+        _run_experiment(runner, args)
         return 0
 
     if args.command == "figure":
-        if args.num_workers is not None:
-            from .exact import set_default_num_workers
-
-            set_default_num_workers(args.num_workers)
         _, runner = FIGURE_RUNNERS[args.number]
-        _run(runner, args.scale, args.output)
+        _run_experiment(runner, args)
         return 0
 
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "artifacts":
+        return _cmd_artifacts(args)
     if args.command == "models":
         return _cmd_models(args)
     if args.command == "train":

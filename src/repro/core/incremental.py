@@ -134,13 +134,31 @@ class IncrementalSelNet:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def apply_operation(self, operation: UpdateOperation) -> UpdateStepReport:
-        """Apply one insert/delete operation and update the model if needed."""
+    def apply_operation(
+        self,
+        operation: UpdateOperation,
+        validation: Optional[Workload] = None,
+        train=None,
+    ) -> UpdateStepReport:
+        """Apply one insert/delete operation and update the model if needed.
+
+        ``validation`` / ``train`` optionally supply externally relabeled
+        workloads reflecting the post-operation database, so several models
+        tracking the same update stream share one exact-labeling pass per
+        operation instead of relabeling per model (``train`` may be a
+        zero-argument callable, invoked only when fine-tuning triggers).
+        The labels must equal what :func:`relabel_workload` against this
+        instance's oracle would produce — the exact engine guarantees that
+        for any oracle over the same data and operation history.
+        """
         self._delta.apply(operation)
         self.data = self._delta.current_data()
 
         # Step 1: refresh validation labels and re-check accuracy.
-        self.validation = relabel_workload(self.validation, self._delta)
+        if validation is not None:
+            self.validation = validation
+        else:
+            self.validation = relabel_workload(self.validation, self._delta)
         mae_before = self._validation_mae()
         drift = abs(mae_before - self._baseline_mae)
 
@@ -148,8 +166,15 @@ class IncrementalSelNet:
         fine_tune_epochs = 0
         if drift > self.config.mae_drift_threshold:
             # Step 2: refresh training labels and fine-tune the current model.
-            self.train = relabel_workload(self.train, self._delta)
+            if train is not None:
+                self.train = train() if callable(train) else train
+            else:
+                self.train = relabel_workload(self.train, self._delta)
             fine_tune_epochs = self._fine_tune()
+            # Fine-tuning mutates the model weights in place; any cached
+            # compiled inference kernel froze the pre-update weights (store-
+            # loaded estimators arrive eagerly compiled) and must be rebuilt.
+            self.estimator._invalidate_compiled()
             retrained = True
             self._baseline_mae = self._validation_mae()
 

@@ -5,6 +5,7 @@ from .harness import (
     SettingEvaluation,
     build_setting_split,
     evaluate_estimator,
+    evaluate_fitted,
     run_setting,
 )
 from .metrics import (
@@ -21,6 +22,8 @@ from .registry import (
     PAPER_MODEL_ORDER,
     default_estimators,
     selnet_factory,
+    selnet_train_spec,
+    train_specs_for_models,
 )
 from .reporting import (
     format_accuracy_table,
@@ -40,10 +43,13 @@ __all__ = [
     "EvaluationResult",
     "SettingEvaluation",
     "evaluate_estimator",
+    "evaluate_fitted",
     "build_setting_split",
     "run_setting",
     "default_estimators",
     "selnet_factory",
+    "selnet_train_spec",
+    "train_specs_for_models",
     "PAPER_MODEL_ORDER",
     "ABLATION_MODEL_ORDER",
     "CONSISTENT_MODELS",

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from ..estimator import SelectivityEstimator
 from ..experiments.scale import ExperimentScale
+from ..pipeline import TrainSpec, WorkloadSpec
 from ..registry import create_estimator, get_estimator_spec, iter_estimator_specs
 
 EstimatorFactory = Callable[[], SelectivityEstimator]
@@ -47,6 +48,24 @@ CONSISTENT_MODELS = frozenset(
 )
 
 
+def _selnet_key_params(
+    scale: ExperimentScale, variant: str, seed: int, **config_overrides
+):
+    """(registry key, constructor params) for a SelNet variant.
+
+    The single param-assembly shared by :func:`selnet_factory` (direct path)
+    and :func:`selnet_train_spec` (pipeline path): both must always build
+    byte-identical estimators or the spec-driven/direct parity breaks.
+    """
+    if variant not in ABLATION_MODEL_ORDER:
+        raise KeyError(f"unknown SelNet variant {variant!r}")
+    key = _display_to_key()[variant]
+    params = get_estimator_spec(key).params_for_scale(scale)
+    params["seed"] = seed
+    params.update(config_overrides)
+    return key, params
+
+
 def selnet_factory(
     scale: ExperimentScale,
     variant: str = "SelNet",
@@ -54,17 +73,75 @@ def selnet_factory(
     **config_overrides,
 ) -> EstimatorFactory:
     """Factory for a SelNet variant (``SelNet`` / ``SelNet-ct`` / ``SelNet-ad-ct``)."""
-    if variant not in ABLATION_MODEL_ORDER:
-        raise KeyError(f"unknown SelNet variant {variant!r}")
-    key = _display_to_key()[variant]
-    params = get_estimator_spec(key).params_for_scale(scale)
-    params["seed"] = seed
-    params.update(config_overrides)
+    key, params = _selnet_key_params(scale, variant, seed, **config_overrides)
 
     def build() -> SelectivityEstimator:
         return create_estimator(key, **params)
 
     return build
+
+
+def selnet_train_spec(
+    workload: WorkloadSpec,
+    scale: ExperimentScale,
+    variant: str = "SelNet",
+    seed: int = 0,
+    display_name: Optional[str] = None,
+    **config_overrides,
+) -> TrainSpec:
+    """Hashable training spec for a SelNet variant (pipeline counterpart of
+    :func:`selnet_factory`); ``config_overrides`` are SelNetConfig fields."""
+    key, params = _selnet_key_params(scale, variant, seed, **config_overrides)
+    return TrainSpec.create(workload, key, params, display_name=display_name)
+
+
+def _zoo_key_params(
+    scale: ExperimentScale,
+    num_vectors: int,
+    distance_name: str,
+    include: Optional[Iterable[str]],
+    seed: int,
+):
+    """Yield ``(display, key, params)`` for the supported model zoo, in order.
+
+    The single source for :func:`default_estimators` (direct path) and
+    :func:`train_specs_for_models` (pipeline path): same display names, same
+    registry keys, same scale-derived hyper-parameters, same
+    distance-support filtering.
+    """
+    display_map = _display_to_key()
+    names: List[str] = list(include) if include is not None else list(PAPER_MODEL_ORDER)
+    for display in names:
+        key = display_map.get(display)
+        if key is None:
+            continue
+        spec = get_estimator_spec(key)
+        if not spec.supports_distance(distance_name):
+            continue
+        params = spec.params_for_scale(scale, num_vectors)
+        params["seed"] = seed
+        yield display, key, params
+
+
+def train_specs_for_models(
+    scale: ExperimentScale,
+    workload: WorkloadSpec,
+    include: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> Dict[str, TrainSpec]:
+    """Hashable training specs for the model zoo on one workload.
+
+    The pipeline counterpart of :func:`default_estimators` — built from the
+    same :func:`_zoo_key_params` assembly, as content-addressed
+    :class:`~repro.pipeline.TrainSpec` stages instead of opaque closures
+    (``num_vectors`` and the distance come from the workload's dataset spec).
+    """
+    return {
+        display: TrainSpec.create(workload, key, params)
+        for display, key, params in _zoo_key_params(
+            scale, workload.dataset.num_vectors, workload.distance, include, seed
+        )
+    }
 
 
 def default_estimators(
@@ -92,19 +169,10 @@ def default_estimators(
     seed:
         Seed forwarded to every estimator.
     """
-    display_map = _display_to_key()
-    names: List[str] = list(include) if include is not None else list(PAPER_MODEL_ORDER)
-
     factories: Dict[str, EstimatorFactory] = {}
-    for display in names:
-        key = display_map.get(display)
-        if key is None:
-            continue
-        spec = get_estimator_spec(key)
-        if not spec.supports_distance(distance_name):
-            continue
-        params = spec.params_for_scale(scale, num_vectors)
-        params["seed"] = seed
+    for display, key, params in _zoo_key_params(
+        scale, num_vectors, distance_name, include, seed
+    ):
 
         def build(key: str = key, params: Dict = params) -> SelectivityEstimator:
             return create_estimator(key, **dict(params))

@@ -11,12 +11,20 @@ prints them so the curves can be compared with the paper's figures.
   random queries on fasttext-cos.
 * Figure 5 — MSE / MAPE over a stream of 100 update operations with the
   incremental-learning procedure of Section 5.4.
+
+Figures 4 and 5 are spec-driven: their dataset / workload / training stages
+run through the pipeline (:mod:`repro.pipeline`), so with an artifact store
+active the expensive stages are shared with the tables and across reruns.
+Figure 5 additionally labels each update step **once** per operation —
+every model tracking the stream reuses the same exact-relabeled
+validation / train / test workloads instead of relabeling per model.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,10 +36,16 @@ from ..core import (
     fit_piecewise_linear_curve,
 )
 from ..data import generate_update_stream
-from ..data.workload import WorkloadSplit
-from ..eval.harness import build_setting_split
-from ..eval.metrics import compute_error_metrics
-from ..eval.registry import selnet_factory
+from ..data.workload import Workload, WorkloadSplit, relabel_workload
+from ..eval.registry import selnet_factory, selnet_train_spec
+from ..pipeline import (
+    ExperimentSpec,
+    PipelineReport,
+    PipelineRunner,
+    TrainSpec,
+    WorkloadSpec,
+    resolve_store,
+)
 from .scale import SMALL, ExperimentScale
 
 
@@ -43,9 +57,52 @@ class FigureResult:
     description: str
     series: Dict[str, np.ndarray] = field(default_factory=dict)
     text: str = ""
+    #: per-stage wall-clock / cache stats when the pipeline path ran
+    pipeline_report: Optional[PipelineReport] = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.text
+
+
+def _materialize_selnet_variants(
+    name: str,
+    setting: str,
+    scale: ExperimentScale,
+    variants: Sequence[str],
+    seed: int,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
+) -> Tuple[WorkloadSplit, Dict[str, SelNetEstimator], Optional[PipelineReport]]:
+    """Workload split + fitted SelNet variants through the pipeline.
+
+    With a persistent store active the returned estimators are private
+    copies — figures may mutate them (e.g. fine-tuning under updates)
+    without corrupting the store's shared cached instances.  Without one,
+    the runner's throwaway memory store is unreachable after this call, so
+    the fresh estimators are returned as-is (no copy cost).
+    """
+    workload_spec = WorkloadSpec.for_setting(setting, scale, seed=seed)
+    train_specs: Dict[str, TrainSpec] = {
+        variant: selnet_train_spec(workload_spec, scale, variant, seed=seed)
+        for variant in variants
+    }
+    # The workload is demanded explicitly (figures read the split, not just
+    # the models), so warm-run dependency pruning cannot skip it.
+    experiment = ExperimentSpec(
+        name=name, extra_stages=(workload_spec,) + tuple(train_specs.values())
+    )
+    store = resolve_store()
+    runner = PipelineRunner(
+        store=store, num_workers=num_workers, engine_options=engine_options
+    )
+    outcome = runner.run(experiment)
+    split = outcome.values[workload_spec.spec_hash]
+    materialize = copy.deepcopy if store is not None else (lambda estimator: estimator)
+    estimators = {
+        variant: materialize(outcome.value(spec).estimator)
+        for variant, spec in train_specs.items()
+    }
+    return split, estimators, outcome.report
 
 
 # ---------------------------------------------------------------------- #
@@ -63,7 +120,8 @@ def figure3_dln_vs_selnet(
     (only the outputs are learned); the SelNet-style fit places control points
     adaptively where the function changes fastest.  The figure's message —
     adaptive placement approximates the exponential far better — is measured
-    here as the MSE of each fit on a dense grid.
+    here as the MSE of each fit on a dense grid.  (Pure function of its
+    arguments; nothing worth caching, so it stays off the pipeline.)
     """
     rng = np.random.default_rng(seed)
     low, high = t_range
@@ -114,6 +172,8 @@ def figure4_control_points(
     num_example_queries: int = 2,
     split: Optional[WorkloadSplit] = None,
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
 ) -> FigureResult:
     """Figure 4: control points of SelNet-ct vs SelNet-ad-ct for random queries.
 
@@ -121,10 +181,22 @@ def figure4_control_points(
     them.  The result reports, per query, the learned knots and the MSE of
     each model's curve against the exact selectivity curve.
     """
+    report: Optional[PipelineReport] = None
     if split is None:
-        split = build_setting_split(setting, scale, seed=seed)
-    ct = selnet_factory(scale, "SelNet-ct", seed=seed)().fit(split)
-    ad_ct = selnet_factory(scale, "SelNet-ad-ct", seed=seed)().fit(split)
+        split, estimators, report = _materialize_selnet_variants(
+            f"figure4-{setting}-{scale.name}",
+            setting,
+            scale,
+            ("SelNet-ct", "SelNet-ad-ct"),
+            seed,
+            num_workers=num_workers,
+            engine_options=engine_options,
+        )
+        ct = estimators["SelNet-ct"]
+        ad_ct = estimators["SelNet-ad-ct"]
+    else:
+        ct = selnet_factory(scale, "SelNet-ct", seed=seed)().fit(split)
+        ad_ct = selnet_factory(scale, "SelNet-ad-ct", seed=seed)().fit(split)
 
     rng = np.random.default_rng(seed)
     query_ids = np.unique(split.test.query_ids)
@@ -167,6 +239,7 @@ def figure4_control_points(
         description="Query-dependent vs query-independent control points",
         series=series,
         text="\n".join(lines),
+        pipeline_report=report,
     )
 
 
@@ -179,66 +252,115 @@ def figure5_updates(
     num_operations: int = 20,
     records_per_operation: int = 5,
     mae_drift_threshold: float = 2.0,
+    models: Sequence[str] = ("SelNet-ct",),
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
 ) -> FigureResult:
     """Figure 5: MSE and MAPE on the test set across a stream of updates.
 
     The paper applies 100 operations of 5 records each; the default here is a
     shorter stream (scaled with everything else) — pass ``num_operations=100``
     to match the paper exactly.
+
+    ``models`` selects the SelNet variants tracking the stream.  However many
+    there are, every update step relabels the validation / train / test
+    workloads exactly **once** against one shared incremental oracle; all
+    models consume the same refreshed labels (they are exact counts — no
+    model could see anything different).
     """
     series: Dict[str, np.ndarray] = {}
     lines = [f"Figure 5: accuracy under data updates [{scale.name} scale]"]
+    reports: List[Optional[PipelineReport]] = []
     for setting in settings:
-        split = build_setting_split(setting, scale, seed=seed)
-        estimator = selnet_factory(scale, "SelNet-ct", seed=seed)().fit(split)
-        incremental = IncrementalSelNet(
-            estimator=estimator,
-            data=split.dataset.vectors,
-            distance=split.distance,
-            train=split.train,
-            validation=split.validation,
-            config=IncrementalConfig(
-                mae_drift_threshold=mae_drift_threshold,
-                max_epochs=max(scale.selnet_epochs // 4, 3),
-            ),
+        split, estimators, setting_report = _materialize_selnet_variants(
+            f"figure5-{setting}-{scale.name}",
+            setting,
+            scale,
+            tuple(models),
+            seed,
+            num_workers=num_workers,
+            engine_options=engine_options,
         )
+        reports.append(setting_report)
+        from ..exact import DeltaOracle
+
+        incrementals: Dict[str, IncrementalSelNet] = {
+            model: IncrementalSelNet(
+                estimator=estimators[model],
+                data=split.dataset.vectors,
+                distance=split.distance,
+                train=split.train,
+                validation=split.validation,
+                config=IncrementalConfig(
+                    mae_drift_threshold=mae_drift_threshold,
+                    max_epochs=max(scale.selnet_epochs // 4, 3),
+                ),
+            )
+            for model in models
+        }
         operations = generate_update_stream(
             split.dataset.vectors,
             num_operations=num_operations,
             records_per_operation=records_per_operation,
             seed=seed,
         )
-        mse_series: List[float] = []
-        mape_series: List[float] = []
-        retrain_count = 0
-        test = split.test
-        from ..data.workload import relabel_workload
-        from ..exact import DeltaOracle
+        mse_series: Dict[str, List[float]] = {model: [] for model in models}
+        mape_series: Dict[str, List[float]] = {model: [] for model in models}
+        retrain_counts: Dict[str, int] = {model: 0 for model in models}
 
-        # One incremental oracle for the test-set relabeling across the whole
-        # stream: base counts are computed once, each step scans only the
-        # rows the operation touched (exact parity with a full rebuild).
-        test_oracle = DeltaOracle(split.dataset.vectors, split.distance)
+        # One incremental oracle labels each step of the stream exactly once
+        # for every model: base counts are computed once, each step scans
+        # only the rows the operation touched (exact parity with a full
+        # rebuild), and validation / train / test refreshes are shared.
+        shared_oracle = DeltaOracle(split.dataset.vectors, split.distance)
+        validation_rows = split.validation
+        train_rows = split.train
+        test = split.test
+        from ..eval.metrics import compute_error_metrics
+
         for operation in operations:
-            report = incremental.apply_operation(operation)
-            retrain_count += int(report.retrained)
-            test_oracle.apply(operation)
-            test = relabel_workload(test, test_oracle)
-            estimates = incremental.estimate(test.queries, test.thresholds)
-            metrics = compute_error_metrics(estimates, test.selectivities)
-            mse_series.append(metrics.mse)
-            mape_series.append(metrics.mape)
-        series[f"{setting}_mse"] = np.asarray(mse_series)
-        series[f"{setting}_mape"] = np.asarray(mape_series)
-        lines.append(
-            f"  {setting}: MSE start {mse_series[0]:.2f} end {mse_series[-1]:.2f}, "
-            f"MAPE start {mape_series[0]:.3f} end {mape_series[-1]:.3f}, "
-            f"retrained {retrain_count}/{num_operations} operations"
-        )
+            shared_oracle.apply(operation)
+            validation = relabel_workload(validation_rows, shared_oracle)
+            train_supplier = _once(lambda: relabel_workload(train_rows, shared_oracle))
+            for model in models:
+                report = incrementals[model].apply_operation(
+                    operation, validation=validation, train=train_supplier
+                )
+                retrain_counts[model] += int(report.retrained)
+            test = relabel_workload(test, shared_oracle)
+            for model in models:
+                estimates = incrementals[model].estimate(test.queries, test.thresholds)
+                metrics = compute_error_metrics(estimates, test.selectivities)
+                mse_series[model].append(metrics.mse)
+                mape_series[model].append(metrics.mape)
+
+        for model in models:
+            prefix = setting if len(models) == 1 else f"{setting}_{model}"
+            series[f"{prefix}_mse"] = np.asarray(mse_series[model])
+            series[f"{prefix}_mape"] = np.asarray(mape_series[model])
+            label = setting if len(models) == 1 else f"{setting} {model}"
+            lines.append(
+                f"  {label}: MSE start {mse_series[model][0]:.2f} end {mse_series[model][-1]:.2f}, "
+                f"MAPE start {mape_series[model][0]:.3f} end {mape_series[model][-1]:.3f}, "
+                f"retrained {retrain_counts[model]}/{num_operations} operations"
+            )
     return FigureResult(
         figure_id="Figure 5",
         description="Accuracy across a stream of insert/delete operations",
         series=series,
         text="\n".join(lines),
+        pipeline_report=PipelineReport.merged(f"figure5-{scale.name}", reports),
     )
+
+
+def _once(compute: Callable[[], Workload]) -> Callable[[], Workload]:
+    """Memoize a zero-argument workload computation (shared across models)."""
+    cache: List[Workload] = []
+
+    def supply() -> Workload:
+        if not cache:
+            cache.append(compute())
+        return cache[0]
+
+    return supply

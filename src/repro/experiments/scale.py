@@ -136,29 +136,55 @@ def get_scale(name: str) -> ExperimentScale:
     return _SCALES[key]
 
 
-def make_scaled_dataset(setting: str, scale: ExperimentScale, seed_offset: int = 0) -> Dataset:
-    """Build the synthetic dataset for one paper setting at the given scale.
+def dataset_args_for_setting(setting: str, scale: ExperimentScale, seed_offset: int = 0) -> Dict:
+    """Generator arguments of one paper setting's dataset at a scale.
 
-    ``setting`` is one of the paper's four evaluation settings:
-    ``fasttext-cos``, ``fasttext-l2``, ``face-cos``, ``youtube-cos``.
+    The single source of truth shared by :func:`make_scaled_dataset` and
+    :meth:`repro.pipeline.DatasetSpec.for_setting`, so the declarative
+    pipeline and the direct path construct byte-identical datasets.
     """
     key = setting.lower()
     if key.startswith("fasttext"):
-        return make_dataset(
-            "fasttext_like", num_vectors=scale.num_vectors, dim=scale.dim_fasttext, seed=7 + seed_offset
+        return dict(
+            name="fasttext_like",
+            num_vectors=scale.num_vectors,
+            dim=scale.dim_fasttext,
+            seed=7 + seed_offset,
         )
     if key.startswith("face"):
-        return make_dataset(
-            "face_like", num_vectors=scale.num_vectors, dim=scale.dim_face, seed=11 + seed_offset
+        return dict(
+            name="face_like",
+            num_vectors=scale.num_vectors,
+            dim=scale.dim_face,
+            seed=11 + seed_offset,
         )
     if key.startswith("youtube"):
-        return make_dataset(
-            "youtube_like",
+        return dict(
+            name="youtube_like",
             num_vectors=max(scale.num_vectors * 3 // 4, 500),
             dim=scale.dim_youtube,
             seed=13 + seed_offset,
         )
     raise KeyError(f"unknown setting {setting!r}")
+
+
+def make_scaled_dataset(setting: str, scale: ExperimentScale, seed_offset: int = 0) -> Dataset:
+    """Build the synthetic dataset for one paper setting at the given scale.
+
+    ``setting`` is one of the paper's four evaluation settings:
+    ``fasttext-cos``, ``fasttext-l2``, ``face-cos``, ``youtube-cos``.  When
+    an artifact store is active (``repro.pipeline.use_store``) the dataset
+    is served from / persisted to the store under its spec hash — the
+    returned object is then the store's shared cached instance; treat it as
+    immutable (the update pipeline copies vectors before applying streams).
+    """
+    from ..pipeline import DatasetSpec, get_active_store
+
+    spec = DatasetSpec.for_setting(setting, scale, seed_offset)
+    store = get_active_store()
+    if store is not None:
+        return store.get_or_build(spec)
+    return make_dataset(spec.name, num_vectors=spec.num_vectors, dim=spec.dim, seed=spec.seed)
 
 
 def setting_distance(setting: str) -> str:

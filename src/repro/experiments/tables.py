@@ -5,6 +5,16 @@ the structured results and a formatted text rendering.  The benchmark suite
 wraps these functions; the EXPERIMENTS.md document records paper-vs-measured
 values produced by them.
 
+Every table is **spec-driven**: the function assembles a
+:class:`repro.pipeline.ExperimentSpec` (workload specs shared across model
+stages, one ``TrainSpec``/``EvalSpec`` pair per table row) and executes it
+through a :class:`repro.pipeline.PipelineRunner`.  With an artifact store
+active (``repro run`` / ``repro table`` on the CLI, or
+:func:`repro.pipeline.use_store` in code) each stage is memoized under its
+content hash: rerunning a table is a pure cache replay, and tables sharing
+a workload (e.g. Tables 2, 8, 9, 10 on fasttext-l2) label it exactly once.
+Passing a pre-built ``split`` falls back to the direct path.
+
 Scale note: the functions accept an :class:`ExperimentScale`; absolute error
 values differ from the paper (synthetic data, smaller models), but the
 qualitative findings — who wins, the value of partitioning and
@@ -15,25 +25,36 @@ are what these reproductions check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from ..core import SelNetConfig, SelNetEstimator
+from ..core import SelNetEstimator
 from ..data.workload import WorkloadSplit
 from ..eval.harness import (
     EvaluationResult,
     SettingEvaluation,
-    build_setting_split,
     evaluate_estimator,
     run_setting,
 )
-from ..eval.registry import ABLATION_MODEL_ORDER, PAPER_MODEL_ORDER, selnet_factory
+from ..eval.registry import (
+    ABLATION_MODEL_ORDER,
+    PAPER_MODEL_ORDER,
+    selnet_train_spec,
+    train_specs_for_models,
+)
 from ..eval.reporting import (
     format_accuracy_table,
     format_monotonicity_table,
     format_sweep_table,
     format_timing_table,
+)
+from ..pipeline import (
+    EvalSpec,
+    ExperimentSpec,
+    PipelineReport,
+    PipelineRunner,
+    TrainSpec,
+    WorkloadSpec,
+    resolve_store,
 )
 from .scale import PAPER_SETTINGS, SMALL, ExperimentScale
 
@@ -47,9 +68,26 @@ class TableResult:
     text: str
     rows: List[Dict[str, float]] = field(default_factory=list)
     evaluation: Optional[SettingEvaluation] = None
+    #: per-stage wall-clock / cache stats when the pipeline path ran
+    pipeline_report: Optional[PipelineReport] = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.text
+
+
+def _run_eval_specs(
+    name: str,
+    eval_specs: Sequence[EvalSpec],
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
+) -> Tuple[Dict[str, EvaluationResult], PipelineReport]:
+    """Execute eval stages as one DAG; returns results by eval hash + report."""
+    experiment = ExperimentSpec(name=name, evals=tuple(eval_specs))
+    runner = PipelineRunner(
+        store=resolve_store(), num_workers=num_workers, engine_options=engine_options
+    )
+    outcome = runner.run(experiment)
+    return {spec.spec_hash: outcome.value(spec) for spec in eval_specs}, outcome.report
 
 
 # ---------------------------------------------------------------------- #
@@ -70,6 +108,8 @@ def run_accuracy_table(
     threshold_distribution: str = "geometric",
     split: Optional[WorkloadSplit] = None,
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
 ) -> TableResult:
     """Tables 1-4 (geometric thresholds) and Table 11 (beta thresholds).
 
@@ -85,6 +125,8 @@ def run_accuracy_table(
         threshold_distribution=threshold_distribution,
         split=split,
         seed=seed,
+        num_workers=num_workers,
+        engine_options=engine_options,
     )
     if threshold_distribution == "beta":
         table_id = "Table 11"
@@ -99,6 +141,7 @@ def run_accuracy_table(
         text=text,
         rows=[result.as_row() for result in evaluation.results],
         evaluation=evaluation,
+        pipeline_report=evaluation.pipeline_report,
     )
 
 
@@ -111,6 +154,8 @@ def run_monotonicity_table(
     models: Optional[Sequence[str]] = None,
     split: Optional[WorkloadSplit] = None,
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
 ) -> TableResult:
     """Table 5: empirical monotonicity (%) of every model on face-cos."""
     if models is None:
@@ -122,6 +167,8 @@ def run_monotonicity_table(
         measure_monotonicity=True,
         split=split,
         seed=seed,
+        num_workers=num_workers,
+        engine_options=engine_options,
     )
     text = format_monotonicity_table(
         evaluation, title=f"Table 5: empirical monotonicity on {setting} [{scale.name} scale]"
@@ -132,6 +179,7 @@ def run_monotonicity_table(
         text=text,
         rows=[result.as_row() for result in evaluation.results],
         evaluation=evaluation,
+        pipeline_report=evaluation.pipeline_report,
     )
 
 
@@ -142,31 +190,50 @@ def run_ablation_table(
     settings: Sequence[str] = PAPER_SETTINGS,
     scale: ExperimentScale = SMALL,
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
 ) -> TableResult:
-    """Table 6: SelNet vs SelNet-ct vs SelNet-ad-ct on every setting."""
+    """Table 6: SelNet vs SelNet-ct vs SelNet-ad-ct on every setting.
+
+    All ``settings x variants`` stages form one DAG, so the per-setting
+    branches (and the three variant fits within each) are independent
+    pipeline stages sharing one labeled workload per setting.
+    """
+    keyed: List[Tuple[str, str, EvalSpec]] = []
+    for setting in settings:
+        workload = WorkloadSpec.for_setting(setting, scale, seed=seed)
+        for variant in ABLATION_MODEL_ORDER:
+            train = selnet_train_spec(workload, scale, variant, seed=seed)
+            keyed.append((setting, variant, EvalSpec(train=train, seed=seed)))
+
+    results, report = _run_eval_specs(
+        f"table6-ablation-{scale.name}",
+        [spec for _, _, spec in keyed],
+        num_workers=num_workers,
+        engine_options=engine_options,
+    )
+
     rows: List[Dict[str, float]] = []
     lines: List[str] = [f"Table 6: ablation study [{scale.name} scale]"]
     header = f"{'Setting':<14} {'Model':<14} {'MSE':>12} {'MAE':>12} {'MAPE':>12}"
     lines.append(header)
     lines.append("-" * len(header))
-    for setting in settings:
-        split = build_setting_split(setting, scale, seed=seed)
-        for variant in ABLATION_MODEL_ORDER:
-            estimator = selnet_factory(scale, variant, seed=seed)()
-            result = evaluate_estimator(estimator, split, seed=seed)
-            row = result.as_row()
-            row["setting"] = setting
-            rows.append(row)
-            lines.append(
-                f"{setting:<14} {variant:<14} "
-                f"{result.test_metrics.mse:>12.2f} {result.test_metrics.mae:>12.2f} "
-                f"{result.test_metrics.mape:>12.3f}"
-            )
+    for setting, variant, spec in keyed:
+        result = results[spec.spec_hash]
+        row = result.as_row()
+        row["setting"] = setting
+        rows.append(row)
+        lines.append(
+            f"{setting:<14} {variant:<14} "
+            f"{result.test_metrics.mse:>12.2f} {result.test_metrics.mae:>12.2f} "
+            f"{result.test_metrics.mape:>12.3f}"
+        )
     return TableResult(
         table_id="Table 6",
         description="Ablation study (partitioning, query-dependent control points)",
         text="\n".join(lines),
         rows=rows,
+        pipeline_report=report,
     )
 
 
@@ -178,13 +245,38 @@ def run_timing_table(
     scale: ExperimentScale = SMALL,
     models: Optional[Sequence[str]] = None,
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
 ) -> TableResult:
-    """Table 7: average estimation time (ms per query) per model and setting."""
+    """Table 7: average estimation time (ms per query) per model and setting.
+
+    Like Table 6, all ``settings x models`` stages form **one** DAG: on a
+    cold run the training branches of different settings overlap on the
+    pool, while the timing-sensitive evaluations still run exclusively.
+    """
     if models is None:
         models = tuple(PAPER_MODEL_ORDER) + ("SelNet-ct", "SelNet-ad-ct")
-    evaluations: Dict[str, SettingEvaluation] = {}
+    keyed: List[Tuple[str, List[EvalSpec]]] = []
     for setting in settings:
-        evaluations[setting] = run_setting(setting, scale, models=models, seed=seed)
+        workload = WorkloadSpec.for_setting(setting, scale, seed=seed)
+        train_specs = train_specs_for_models(scale, workload, include=models, seed=seed)
+        keyed.append(
+            (setting, [EvalSpec(train=spec, seed=seed) for spec in train_specs.values()])
+        )
+
+    results, report = _run_eval_specs(
+        f"table7-timing-{scale.name}",
+        [spec for _, setting_specs in keyed for spec in setting_specs],
+        num_workers=num_workers,
+        engine_options=engine_options,
+    )
+    evaluations: Dict[str, SettingEvaluation] = {
+        setting: SettingEvaluation(
+            setting=setting,
+            results=[results[spec.spec_hash] for spec in setting_specs],
+        )
+        for setting, setting_specs in keyed
+    }
     text = format_timing_table(
         evaluations, title=f"Table 7: average estimation time (ms) [{scale.name} scale]"
     )
@@ -199,7 +291,47 @@ def run_timing_table(
         description="Average estimation time (milliseconds per query)",
         text=text,
         rows=rows,
+        pipeline_report=report,
     )
+
+
+# ---------------------------------------------------------------------- #
+# Tables 8-10: SelNet hyper-parameter sweeps (shared machinery)
+# ---------------------------------------------------------------------- #
+def _run_selnet_sweep(
+    name: str,
+    setting: str,
+    scale: ExperimentScale,
+    arms: Sequence[Tuple[str, Dict]],
+    split: Optional[WorkloadSplit],
+    seed: int,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
+) -> Tuple[List[EvaluationResult], Optional[PipelineReport]]:
+    """Evaluate SelNet variants (``(display_name, config_overrides)`` arms)
+    on one setting's workload; spec-driven unless a split is supplied."""
+    if split is not None:
+        results = []
+        for display_name, overrides in arms:
+            estimator = SelNetEstimator(
+                scale.selnet_config(seed=seed, **overrides), name=display_name
+            )
+            results.append(evaluate_estimator(estimator, split, seed=seed))
+        return results, None
+
+    workload = WorkloadSpec.for_setting(setting, scale, seed=seed)
+    eval_specs = []
+    for display_name, overrides in arms:
+        # Same param-assembly as every other SelNet stage (the registry's
+        # single source) so sweep arms and Tables 6/7 can never drift apart.
+        train = selnet_train_spec(
+            workload, scale, "SelNet", seed=seed, display_name=display_name, **overrides
+        )
+        eval_specs.append(EvalSpec(train=train, seed=seed))
+    results_by_hash, report = _run_eval_specs(
+        name, eval_specs, num_workers=num_workers, engine_options=engine_options
+    )
+    return [results_by_hash[spec.spec_hash] for spec in eval_specs], report
 
 
 # ---------------------------------------------------------------------- #
@@ -211,6 +343,8 @@ def run_control_point_sweep(
     scale: ExperimentScale = SMALL,
     split: Optional[WorkloadSplit] = None,
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
 ) -> TableResult:
     """Table 8: validation errors as the number of control points L varies.
 
@@ -218,23 +352,32 @@ def run_control_point_sweep(
     scaled to the smaller synthetic workload but keep the too-few /
     about-right / too-many progression.
     """
-    if split is None:
-        split = build_setting_split(setting, scale, seed=seed)
-    rows: List[Dict[str, float]] = []
-    for num_points in control_points:
-        estimator = SelNetEstimator(
-            scale.selnet_config(num_control_points=num_points, num_partitions=1, seed=seed),
-            name=f"SelNet-ct(L={num_points})",
+    arms = [
+        (
+            f"SelNet-ct(L={num_points})",
+            dict(num_control_points=num_points, num_partitions=1),
         )
-        result = evaluate_estimator(estimator, split, seed=seed)
-        rows.append(
-            {
-                "control_points": num_points,
-                "mse": result.validation_metrics.mse,
-                "mae": result.validation_metrics.mae,
-                "mape": result.validation_metrics.mape,
-            }
-        )
+        for num_points in control_points
+    ]
+    results, report = _run_selnet_sweep(
+        f"table8-control-points-{setting}-{scale.name}",
+        setting,
+        scale,
+        arms,
+        split,
+        seed,
+        num_workers=num_workers,
+        engine_options=engine_options,
+    )
+    rows: List[Dict[str, float]] = [
+        {
+            "control_points": num_points,
+            "mse": result.validation_metrics.mse,
+            "mae": result.validation_metrics.mae,
+            "mape": result.validation_metrics.mape,
+        }
+        for num_points, result in zip(control_points, results)
+    ]
     text = format_sweep_table(
         rows,
         parameter_name="control_points",
@@ -245,6 +388,7 @@ def run_control_point_sweep(
         description=f"Errors vs number of control points on {setting}",
         text=text,
         rows=rows,
+        pipeline_report=report,
     )
 
 
@@ -257,26 +401,34 @@ def run_partition_size_sweep(
     scale: ExperimentScale = SMALL,
     split: Optional[WorkloadSplit] = None,
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
 ) -> TableResult:
     """Table 9: errors and estimation time as the partition count K varies."""
-    if split is None:
-        split = build_setting_split(setting, scale, seed=seed)
-    rows: List[Dict[str, float]] = []
-    for num_partitions in partition_sizes:
-        estimator = SelNetEstimator(
-            scale.selnet_config(num_partitions=num_partitions, seed=seed),
-            name=f"SelNet(K={num_partitions})",
-        )
-        result = evaluate_estimator(estimator, split, seed=seed)
-        rows.append(
-            {
-                "partitions": num_partitions,
-                "mse": result.validation_metrics.mse,
-                "mae": result.validation_metrics.mae,
-                "mape": result.validation_metrics.mape,
-                "estimation_ms": result.estimation_milliseconds,
-            }
-        )
+    arms = [
+        (f"SelNet(K={num_partitions})", dict(num_partitions=num_partitions))
+        for num_partitions in partition_sizes
+    ]
+    results, report = _run_selnet_sweep(
+        f"table9-partition-size-{setting}-{scale.name}",
+        setting,
+        scale,
+        arms,
+        split,
+        seed,
+        num_workers=num_workers,
+        engine_options=engine_options,
+    )
+    rows: List[Dict[str, float]] = [
+        {
+            "partitions": num_partitions,
+            "mse": result.validation_metrics.mse,
+            "mae": result.validation_metrics.mae,
+            "mape": result.validation_metrics.mape,
+            "estimation_ms": result.estimation_milliseconds,
+        }
+        for num_partitions, result in zip(partition_sizes, results)
+    ]
     text = format_sweep_table(
         rows,
         parameter_name="partitions",
@@ -288,6 +440,7 @@ def run_partition_size_sweep(
         description=f"Errors vs partition size on {setting}",
         text=text,
         rows=rows,
+        pipeline_report=report,
     )
 
 
@@ -301,27 +454,36 @@ def run_partition_method_table(
     scale: ExperimentScale = SMALL,
     split: Optional[WorkloadSplit] = None,
     seed: int = 0,
+    num_workers: Optional[int] = None,
+    engine_options: Optional[Dict] = None,
 ) -> TableResult:
     """Table 10: cover-tree vs random vs k-means partitioning."""
-    if split is None:
-        split = build_setting_split(setting, scale, seed=seed)
-    rows: List[Dict[str, float]] = []
-    for method in methods:
-        estimator = SelNetEstimator(
-            scale.selnet_config(
-                num_partitions=num_partitions, partition_method=method, seed=seed
-            ),
-            name=f"SelNet({method.upper()}, K={num_partitions})",
+    arms = [
+        (
+            f"SelNet({method.upper()}, K={num_partitions})",
+            dict(num_partitions=num_partitions, partition_method=method),
         )
-        result = evaluate_estimator(estimator, split, seed=seed)
-        rows.append(
-            {
-                "method": method.upper(),
-                "mse": result.test_metrics.mse,
-                "mae": result.test_metrics.mae,
-                "mape": result.test_metrics.mape,
-            }
-        )
+        for method in methods
+    ]
+    results, report = _run_selnet_sweep(
+        f"table10-partition-methods-{setting}-{scale.name}",
+        setting,
+        scale,
+        arms,
+        split,
+        seed,
+        num_workers=num_workers,
+        engine_options=engine_options,
+    )
+    rows: List[Dict[str, float]] = [
+        {
+            "method": method.upper(),
+            "mse": result.test_metrics.mse,
+            "mae": result.test_metrics.mae,
+            "mape": result.test_metrics.mape,
+        }
+        for method, result in zip(methods, results)
+    ]
     text = format_sweep_table(
         rows,
         parameter_name="method",
@@ -332,4 +494,5 @@ def run_partition_method_table(
         description=f"Errors vs partitioning method on {setting}",
         text=text,
         rows=rows,
+        pipeline_report=report,
     )

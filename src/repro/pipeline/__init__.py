@@ -1,0 +1,80 @@
+"""Declarative experiment pipeline with a content-addressed artifact store.
+
+Three layers:
+
+* :mod:`repro.pipeline.specs` — canonical, hashable stage specs
+  (``DatasetSpec`` → ``WorkloadSpec`` → ``TrainSpec`` → ``EvalSpec``,
+  grouped by ``ExperimentSpec``) whose BLAKE2b content hash identifies each
+  stage's output;
+* :mod:`repro.pipeline.store` — :class:`ArtifactStore`, the on-disk
+  memoization of stage outputs under their spec hash, with provenance
+  manifests, eviction / GC and atomic (resume-safe) writes;
+* :mod:`repro.pipeline.runner` — :class:`PipelineRunner`, the DAG scheduler
+  that materializes stages in dependency order, overlapping independent
+  branches on a worker pool.
+
+The evaluation harness (:mod:`repro.eval.harness`), every table / figure
+reproduction (:mod:`repro.experiments`) and the ``repro run`` CLI are built
+on these; the serving tier loads trained models straight from the store's
+``train/`` namespace (:meth:`ArtifactStore.models_dir`).
+"""
+
+from .runner import (
+    ENGINE_OPTION_KEYS,
+    PipelineOutcome,
+    PipelineReport,
+    PipelineRunner,
+    StageReport,
+)
+from .specs import (
+    DatasetSpec,
+    EvalSpec,
+    ExperimentSpec,
+    Spec,
+    TrainSpec,
+    TrainedModel,
+    WorkloadSpec,
+    canonical_json,
+    canonical_value,
+    spec_hash,
+)
+from .store import (
+    DEFAULT_STORE_DIR,
+    MANIFEST_FILE,
+    STORE_ENV,
+    ArtifactStore,
+    BuildInfo,
+    StoreStats,
+    get_active_store,
+    resolve_store,
+    set_active_store,
+    use_store,
+)
+
+__all__ = [
+    "Spec",
+    "DatasetSpec",
+    "WorkloadSpec",
+    "TrainSpec",
+    "TrainedModel",
+    "EvalSpec",
+    "ExperimentSpec",
+    "spec_hash",
+    "canonical_value",
+    "canonical_json",
+    "ArtifactStore",
+    "BuildInfo",
+    "StoreStats",
+    "MANIFEST_FILE",
+    "STORE_ENV",
+    "DEFAULT_STORE_DIR",
+    "get_active_store",
+    "set_active_store",
+    "use_store",
+    "resolve_store",
+    "PipelineRunner",
+    "PipelineOutcome",
+    "PipelineReport",
+    "StageReport",
+    "ENGINE_OPTION_KEYS",
+]

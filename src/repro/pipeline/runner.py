@@ -1,0 +1,322 @@
+"""Topological pipeline execution over the artifact store.
+
+:class:`PipelineRunner` takes an :class:`~repro.pipeline.specs.ExperimentSpec`,
+deduplicates its spec closure into a DAG (two evals sharing one workload
+share one workload *stage*), and materializes every stage through the store
+in dependency order.  Independent branches — the per-model training stages
+of an accuracy table, the per-setting branches of the ablation study — run
+concurrently on a thread pool sized by the same ``num_workers`` conventions
+as the exact-selectivity engine (:func:`repro.exact.get_default_num_workers`).
+
+Stages never wait inside workers: the scheduler submits a stage only once
+all of its dependencies completed, so a pool of any width cannot deadlock.
+Because every completed stage is persisted by the store before its
+dependents start, an interrupted run resumes cleanly — the next run replays
+finished stages as cache hits and recomputes only what was in flight.
+
+Two scheduling refinements keep the measurements and the warm path honest:
+
+* **exclusive stages** (``Spec.exclusive``, set on ``EvalSpec``) run alone —
+  the scheduler drains the pool first and submits nothing alongside them —
+  so the per-query estimation latencies they record (Table 7) are
+  contention-free, exactly as in the old sequential harness, while training
+  branches still overlap freely with each other;
+* **dependency pruning**: a stage whose artifact is already complete in the
+  store replays from its own payload, so its upstream closure is not
+  scheduled at all — a warm table run reads a handful of evaluation JSONs
+  instead of re-materializing datasets, labeled workloads and models.
+  (Loading an artifact that itself needs a dependency — e.g. a workload
+  split reconstructing its oracle — pulls that dependency on demand through
+  ``store.get_or_build``.)
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .specs import ExperimentSpec, Spec
+from .store import ArtifactStore, BuildInfo
+
+#: labeling-engine build options forwarded to workload stages
+ENGINE_OPTION_KEYS = ("num_workers", "block_bytes", "progress")
+
+
+@dataclass
+class StageReport:
+    """Outcome of one pipeline stage."""
+
+    name: str
+    kind: str
+    spec_hash: str
+    #: ``False`` when built, ``"memory"`` / ``"disk"`` when served from cache
+    cached: Union[bool, str]
+    seconds: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "hash": self.spec_hash,
+            "cached": self.cached,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class PipelineReport:
+    """Per-stage wall-clock and cache statistics of one pipeline run."""
+
+    experiment: str
+    stages: List[StageReport] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for stage in self.stages if stage.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for stage in self.stages if not stage.cached)
+
+    @property
+    def all_cached(self) -> bool:
+        return bool(self.stages) and all(stage.cached for stage in self.stages)
+
+    def stages_by_kind(self, kind: str) -> List[StageReport]:
+        return [stage for stage in self.stages if stage.kind == kind]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "total_seconds": self.total_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "all_cached": self.all_cached,
+            "stages": [stage.as_dict() for stage in self.stages],
+        }
+
+    @staticmethod
+    def merged(name: str, reports) -> Optional["PipelineReport"]:
+        """One report covering several pipeline runs (multi-setting tables /
+        figures); ``None`` entries are skipped, all-``None`` gives ``None``."""
+        present = [report for report in reports if report is not None]
+        if not present:
+            return None
+        combined = PipelineReport(experiment=name)
+        for report in present:
+            combined.stages.extend(report.stages)
+            combined.total_seconds += report.total_seconds
+        return combined
+
+    @property
+    def text(self) -> str:
+        lines = [
+            f"pipeline {self.experiment}: {len(self.stages)} stages, "
+            f"{self.cache_hits} cached / {self.cache_misses} built, "
+            f"{self.total_seconds:.2f} s"
+        ]
+        for stage in self.stages:
+            source = stage.cached if stage.cached else "built"
+            lines.append(
+                f"  {stage.name:<44} {source:>7} {stage.seconds:>9.3f} s  [{stage.spec_hash}]"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class PipelineOutcome:
+    """Values plus the report of one :meth:`PipelineRunner.run`."""
+
+    experiment: ExperimentSpec
+    values: Dict[str, Any]
+    report: PipelineReport
+
+    def value(self, spec: Spec) -> Any:
+        return self.values[spec.spec_hash]
+
+
+def _default_stage_workers() -> int:
+    from ..exact import get_default_num_workers
+
+    return get_default_num_workers()
+
+
+class PipelineRunner:
+    """Schedules an experiment DAG over an :class:`ArtifactStore`.
+
+    Parameters
+    ----------
+    store:
+        Artifact store; a fresh memory-only store when omitted (pure
+        compute, nothing persisted — the library default).
+    num_workers:
+        Stage-level thread-pool width (``None`` = the exact-engine default).
+        Only *independent* stages overlap; dependency order is always
+        respected, and results are independent of the pool width.
+    engine_options:
+        Labeling-engine tuning forwarded to workload stages
+        (``num_workers`` / ``block_bytes`` / ``progress``); never part of
+        any spec hash.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        num_workers: Optional[int] = None,
+        engine_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.store = store if store is not None else ArtifactStore.memory()
+        self.num_workers = num_workers
+        self.engine_options = {
+            key: value
+            for key, value in (engine_options or {}).items()
+            if key in ENGINE_OPTION_KEYS and value is not None
+        }
+
+    # ------------------------------------------------------------------ #
+    def run(self, experiment: ExperimentSpec) -> PipelineOutcome:
+        """Materialize every stage of ``experiment``; returns values + report."""
+        nodes, dependents, indegree, order_index = self._build_dag(experiment)
+        report = PipelineReport(experiment=experiment.name)
+        values: Dict[str, Any] = {}
+        start = time.perf_counter()
+
+        if not nodes:
+            report.total_seconds = time.perf_counter() - start
+            return PipelineOutcome(experiment, values, report)
+
+        max_workers = self.num_workers or _default_stage_workers()
+        max_workers = max(1, min(int(max_workers), len(nodes)))
+
+        engine_options = dict(self.engine_options)
+        if "num_workers" not in engine_options:
+            # Workload-labeling stages spawn their own exact-engine thread
+            # pools; when several can run concurrently on the stage pool,
+            # split the engine budget between them instead of oversubscribing
+            # the cores with pool-width x engine-width GEMM threads.  A
+            # single labeling stage (the common one-setting table) keeps the
+            # full engine width — its dataset dependency can never overlap it.
+            workload_stages = sum(1 for spec in nodes.values() if spec.kind == "workload")
+            concurrent_labelers = min(max_workers, max(1, workload_stages))
+            if concurrent_labelers > 1:
+                total = int(self.num_workers) if self.num_workers else _default_stage_workers()
+                engine_options["num_workers"] = max(1, total // concurrent_labelers)
+
+        ready = sorted(
+            (key for key, degree in indegree.items() if degree == 0),
+            key=order_index.__getitem__,
+        )
+        in_flight: Dict[Future, str] = {}
+        exclusive_in_flight = False
+        failure: Optional[BaseException] = None
+
+        def submit_ready(executor: ThreadPoolExecutor, options: Dict[str, Any]) -> None:
+            # Prefer non-exclusive stages to keep the pool busy; an exclusive
+            # stage (timing-sensitive evaluation) is submitted only into a
+            # drained pool and blocks further submissions until it finishes.
+            nonlocal exclusive_in_flight
+            while ready and failure is None and not exclusive_in_flight:
+                index = next(
+                    (i for i, key in enumerate(ready) if not nodes[key].exclusive),
+                    None,
+                )
+                if index is None:
+                    if in_flight:
+                        return  # exclusive-only ready set: wait for quiet
+                    index = 0
+                    exclusive_in_flight = True
+                key = ready.pop(index)
+                future = executor.submit(self._run_stage, nodes[key], options)
+                in_flight[future] = key
+
+        with ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-pipeline"
+        ) as executor:
+            while ready or in_flight:
+                submit_ready(executor, engine_options)
+                if not in_flight:
+                    break
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = in_flight.pop(future)
+                    if nodes[key].exclusive:
+                        exclusive_in_flight = False
+                    try:
+                        value, info = future.result()
+                    except BaseException as error:  # noqa: BLE001 - re-raised below
+                        failure = failure or error
+                        continue
+                    values[key] = value
+                    report.stages.append(
+                        StageReport(
+                            name=info.description,
+                            kind=info.kind,
+                            spec_hash=info.spec_hash,
+                            cached=info.cached,
+                            seconds=info.seconds,
+                        )
+                    )
+                    for dependent in dependents[key]:
+                        indegree[dependent] -= 1
+                        if indegree[dependent] == 0:
+                            ready.append(dependent)
+                    ready.sort(key=order_index.__getitem__)
+
+        report.total_seconds = time.perf_counter() - start
+        if failure is not None:
+            raise failure
+        return PipelineOutcome(experiment, values, report)
+
+    # ------------------------------------------------------------------ #
+    def _run_stage(
+        self, spec: Spec, options: Optional[Dict[str, Any]] = None
+    ) -> Tuple[Any, BuildInfo]:
+        return self.store.get_or_build_info(
+            spec, **(self.engine_options if options is None else options)
+        )
+
+    def _build_dag(self, experiment: ExperimentSpec):
+        """Deduplicated spec closure as (nodes, dependents, indegree, order).
+
+        A stage whose artifact is already complete in the store contributes
+        no dependency edges: replaying it reads its own payload, so its
+        upstream closure is pruned from the DAG entirely (warm runs touch
+        only the artifacts actually consumed).
+        """
+        nodes: Dict[str, Spec] = {}
+        dependents: Dict[str, List[str]] = {}
+        indegree: Dict[str, int] = {}
+        order_index: Dict[str, int] = {}
+
+        def visit(spec: Spec) -> str:
+            key = spec.spec_hash
+            if key in nodes:
+                return key
+            nodes[key] = spec
+            dependents.setdefault(key, [])
+            deps = () if self.store.contains(spec) else spec.dependencies()
+            indegree[key] = len(deps)
+            for dep in deps:
+                dep_key = visit(dep)
+                dependents[dep_key].append(key)
+            # Post-order numbering: dependencies are numbered before their
+            # dependents, giving the serial scheduler a deterministic,
+            # dependency-respecting order.
+            order_index[key] = len(order_index)
+            return key
+
+        for stage in experiment.dependencies():
+            visit(stage)
+        return nodes, dependents, indegree, order_index
+
+
+__all__ = [
+    "PipelineRunner",
+    "PipelineOutcome",
+    "PipelineReport",
+    "StageReport",
+    "ENGINE_OPTION_KEYS",
+]

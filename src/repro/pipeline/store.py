@@ -1,0 +1,470 @@
+"""Content-addressed, on-disk memoization of pipeline stage outputs.
+
+Layout (one directory per artifact, keyed by the spec's content hash)::
+
+    <root>/
+      dataset/<hash>/   dataset.npz  dataset.json  manifest.json
+      workload/<hash>/  workload.npz workload.json manifest.json
+      train/<hash>/     estimator.json weights.npz state.pkl manifest.json
+      eval/<hash>/      evaluation.json manifest.json
+
+``manifest.json`` is the provenance record: the canonical spec, dependency
+hashes, build wall-clock, creation time and library version.  An artifact
+directory is **complete iff its manifest exists** — builders write into a
+hidden ``.tmp-*`` sibling and atomically rename it into place, so an
+interrupted run never leaves a half-written artifact that a later run could
+mistake for a finished one; leftover temp directories are swept by
+:meth:`ArtifactStore.gc`.
+
+``ArtifactStore(root=None)`` is a memory-only store (a per-run memo table
+with the same interface) — the default when no store is activated, so plain
+library calls never touch the filesystem.  Activate an on-disk store for a
+region of code with :func:`use_store` / :func:`set_active_store`; the CLI
+does this for ``repro run`` / ``table`` / ``figure``.
+
+The ``train/`` namespace doubles as a model directory in the
+:mod:`repro.persistence` layout, so :class:`repro.serving.EstimationService`
+(and therefore the sharded cluster) can serve trained pipeline models
+straight from the store — see :meth:`ArtifactStore.models_dir`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import shutil
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from .specs import Spec, canonical_value
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+MANIFEST_FILE = "manifest.json"
+MANIFEST_FORMAT = "repro-artifact"
+MANIFEST_VERSION = 1
+
+#: environment variable naming the default on-disk store root
+STORE_ENV = "REPRO_ARTIFACTS"
+
+#: default on-disk store root (relative to the working directory)
+DEFAULT_STORE_DIR = ".repro-artifacts"
+
+_TMP_PREFIX = ".tmp-"
+
+
+@dataclass
+class BuildInfo:
+    """What happened when a spec was materialized."""
+
+    kind: str
+    spec_hash: str
+    description: str
+    #: ``False`` (built), ``"memory"`` or ``"disk"`` (cache hit)
+    cached: Union[bool, str]
+    seconds: float
+
+
+@dataclass
+class StoreStats:
+    """Hit / miss counters, per artifact kind and overall."""
+
+    hits_memory: int = 0
+    hits_disk: int = 0
+    misses: int = 0
+    by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def hits(self) -> int:
+        return self.hits_memory + self.hits_disk
+
+    def record(self, kind: str, cached: Union[bool, str]) -> None:
+        bucket = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+        if cached:
+            bucket["hits"] += 1
+            if cached == "disk":
+                self.hits_disk += 1
+            else:
+                self.hits_memory += 1
+        else:
+            bucket["misses"] += 1
+            self.misses += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "by_kind": {kind: dict(counts) for kind, counts in self.by_kind.items()},
+        }
+
+
+class ArtifactStore:
+    """Memoizes spec outputs under their content hash (disk and/or memory).
+
+    Parameters
+    ----------
+    root:
+        Store directory, created lazily on first write.  ``None`` makes the
+        store memory-only (a per-process memo table, nothing persisted).
+    """
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        self.root = None if root is None else Path(root)
+        self._memory: Dict[str, Any] = {}
+        self._locks: Dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        self._stats_guard = threading.Lock()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def memory(cls) -> "ArtifactStore":
+        """A memory-only store (per-run memo table, nothing persisted)."""
+        return cls(root=None)
+
+    @classmethod
+    def from_env(cls, root: Optional[PathLike] = None) -> "ArtifactStore":
+        """On-disk store at ``root``, ``$REPRO_ARTIFACTS`` or ``.repro-artifacts``."""
+        if root is None:
+            root = os.environ.get(STORE_ENV) or DEFAULT_STORE_DIR
+        return cls(root=root)
+
+    @property
+    def persistent(self) -> bool:
+        return self.root is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        target = "memory" if self.root is None else str(self.root)
+        return f"ArtifactStore({target!r})"
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    def path_for(self, spec: Spec) -> Optional[Path]:
+        """On-disk directory of a spec's artifact (None for memory stores)."""
+        if self.root is None:
+            return None
+        return self.root / spec.kind / spec.spec_hash
+
+    def models_dir(self) -> Path:
+        """The ``train/`` namespace — a servable model directory.
+
+        Every trained-model artifact is saved in the
+        :mod:`repro.persistence` layout, keyed by its spec hash, so this
+        directory can be handed directly to
+        :class:`repro.serving.EstimationService` (``model_dir=...``) or
+        :class:`repro.cluster.ClusterConfig`.
+        """
+        if self.root is None:
+            raise ValueError("a memory-only store has no model directory")
+        from .specs import TrainSpec
+
+        return self.root / TrainSpec.kind
+
+    def model_path(self, spec_or_hash: Union[Spec, str]) -> Path:
+        """Saved-model directory for a TrainSpec (or its hash)."""
+        name = spec_or_hash.spec_hash if isinstance(spec_or_hash, Spec) else str(spec_or_hash)
+        return self.models_dir() / name
+
+    def _lock_for(self, key: str) -> threading.Lock:
+        with self._locks_guard:
+            return self._locks.setdefault(key, threading.Lock())
+
+    # ------------------------------------------------------------------ #
+    # Lookup / build
+    # ------------------------------------------------------------------ #
+    def contains(self, spec: Spec) -> bool:
+        """Whether a complete artifact (memory or disk) exists for ``spec``."""
+        key = spec.spec_hash
+        if key in self._memory:
+            return True
+        path = self.path_for(spec)
+        return path is not None and (path / MANIFEST_FILE).is_file()
+
+    def get_or_build(self, spec: Spec, **options) -> Any:
+        """The spec's value — loaded from cache when present, built otherwise."""
+        value, _ = self.get_or_build_info(spec, **options)
+        return value
+
+    def get_or_build_info(self, spec: Spec, **options) -> "tuple[Any, BuildInfo]":
+        """Like :meth:`get_or_build`, also reporting how the value was obtained."""
+        key = spec.spec_hash
+        start = time.perf_counter()
+        with self._lock_for(key):
+            if key in self._memory:
+                info = BuildInfo(spec.kind, key, spec.describe(), "memory", 0.0)
+                self._record(spec.kind, "memory")
+                return self._memory[key], info
+
+            path = self.path_for(spec)
+            if path is not None and (path / MANIFEST_FILE).is_file():
+                self._warn_version_mismatch(path)
+                value = spec.load_artifact(path, self)
+                with contextlib.suppress(OSError):  # LRU recency for eviction
+                    os.utime(path / MANIFEST_FILE)
+                self._memory[key] = value
+                seconds = time.perf_counter() - start
+                info = BuildInfo(spec.kind, key, spec.describe(), "disk", seconds)
+                self._record(spec.kind, "disk")
+                return value, info
+
+            value = spec.build(self, **options)
+            seconds = time.perf_counter() - start
+            if path is not None:
+                self._persist(spec, value, seconds)
+            self._memory[key] = value
+            info = BuildInfo(spec.kind, key, spec.describe(), False, seconds)
+            self._record(spec.kind, False)
+            return value, info
+
+    def _record(self, kind: str, cached) -> None:
+        # Independent pipeline stages complete on different pool threads; the
+        # per-spec-hash lock does not cover the shared counters.
+        with self._stats_guard:
+            self.stats.record(kind, cached)
+
+    def _warn_version_mismatch(self, path: Path) -> None:
+        """Warn (once per store) when replaying artifacts built by another
+        library version — spec hashes cover spec fields, not code, so a
+        stale store can serve numbers the current code would not produce.
+        Eviction (``repro artifacts gc``) is the remedy; reuse stays legal
+        because most artifacts (datasets, workloads) are version-stable."""
+        if getattr(self, "_version_warned", False):
+            return
+        try:
+            recorded = json.loads((path / MANIFEST_FILE).read_text()).get("repro_version")
+        except (OSError, json.JSONDecodeError):
+            return
+        current = _repro_version()
+        if recorded and recorded != current:
+            self._version_warned = True
+            import sys
+
+            print(
+                f"[repro.pipeline] warning: replaying artifacts built by repro "
+                f"{recorded} with repro {current} installed ({self.root}); run "
+                f"`repro artifacts gc --all` to rebuild from scratch",
+                file=sys.stderr,
+            )
+
+    def _persist(self, spec: Spec, value: Any, build_seconds: float) -> None:
+        final = self.path_for(spec)
+        assert final is not None
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.parent / f"{_TMP_PREFIX}{spec.spec_hash}-{uuid.uuid4().hex[:8]}"
+        tmp.mkdir()
+        try:
+            spec.save_artifact(tmp, value)
+            manifest = {
+                "format": MANIFEST_FORMAT,
+                "format_version": MANIFEST_VERSION,
+                "kind": spec.kind,
+                "hash": spec.spec_hash,
+                "description": spec.describe(),
+                "spec": canonical_value(spec),
+                "dependencies": {
+                    dep.spec_hash: dep.kind for dep in spec.dependencies()
+                },
+                "build_seconds": build_seconds,
+                "created_at": time.time(),
+                "repro_version": _repro_version(),
+            }
+            # The manifest is written last: its presence marks completeness.
+            (tmp / MANIFEST_FILE).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+            )
+            try:
+                os.replace(tmp, final)
+            except OSError:
+                # Lost a cross-process race; the other writer's artifact wins.
+                if not (final / MANIFEST_FILE).is_file():
+                    raise
+                shutil.rmtree(tmp, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def list_artifacts(self, kinds: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
+        """Manifests of every complete artifact (plus path and size)."""
+        results: List[Dict[str, Any]] = []
+        if self.root is None or not self.root.is_dir():
+            return results
+        for kind_dir in sorted(self.root.iterdir()):
+            if not kind_dir.is_dir() or kind_dir.name.startswith("."):
+                continue
+            if kinds is not None and kind_dir.name not in kinds:
+                continue
+            for artifact_dir in sorted(kind_dir.iterdir()):
+                manifest_path = artifact_dir / MANIFEST_FILE
+                if artifact_dir.name.startswith(".") or not manifest_path.is_file():
+                    continue
+                try:
+                    manifest = json.loads(manifest_path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    continue
+                manifest["path"] = str(artifact_dir)
+                manifest["size_bytes"] = _tree_size(artifact_dir)
+                manifest["last_used_at"] = manifest_path.stat().st_mtime
+                results.append(manifest)
+        return results
+
+    def size_bytes(self) -> int:
+        return sum(entry["size_bytes"] for entry in self.list_artifacts())
+
+    def reset_stats(self) -> None:
+        self.stats = StoreStats()
+
+    def clear_memory(self) -> None:
+        """Drop the in-process value cache (disk artifacts are untouched).
+
+        Materialized values stay pinned in memory for the store's lifetime
+        (that is what makes repeated ``get_or_build`` calls within one run
+        share objects); a long-lived store that has finished a batch of
+        experiments should call this to release datasets and models.
+        """
+        self._memory.clear()
+
+    # ------------------------------------------------------------------ #
+    # Eviction
+    # ------------------------------------------------------------------ #
+    def evict(
+        self,
+        kinds: Optional[Sequence[str]] = None,
+        older_than_seconds: Optional[float] = None,
+        spec_hashes: Optional[Sequence[str]] = None,
+        dry_run: bool = False,
+    ) -> List[Dict[str, Any]]:
+        """Delete artifacts matching the filters; returns their manifests.
+
+        ``older_than_seconds`` compares against the artifact's last *use*
+        (manifest mtime, refreshed on every load), so recently served
+        artifacts survive an age-based sweep.
+        """
+        removed: List[Dict[str, Any]] = []
+        now = time.time()
+        wanted_hashes = None if spec_hashes is None else set(spec_hashes)
+        for entry in self.list_artifacts(kinds):
+            if wanted_hashes is not None and entry["hash"] not in wanted_hashes:
+                continue
+            if (
+                older_than_seconds is not None
+                and now - entry["last_used_at"] < older_than_seconds
+            ):
+                continue
+            if not dry_run:
+                shutil.rmtree(entry["path"], ignore_errors=True)
+                self._memory.pop(entry["hash"], None)
+            removed.append(entry)
+        return removed
+
+    #: temp dirs younger than this survive gc — they may be a live build in
+    #: another process (interrupted-build leftovers are much older)
+    TMP_SWEEP_MIN_AGE_SECONDS = 3600.0
+
+    def gc(
+        self,
+        kinds: Optional[Sequence[str]] = None,
+        older_than_seconds: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> Dict[str, Any]:
+        """Evict matching artifacts and sweep interrupted-build temp dirs."""
+        removed = self.evict(kinds=kinds, older_than_seconds=older_than_seconds, dry_run=dry_run)
+        temp_swept = 0
+        now = time.time()
+        if self.root is not None and self.root.is_dir():
+            for kind_dir in self.root.iterdir():
+                if not kind_dir.is_dir():
+                    continue
+                for child in kind_dir.iterdir():
+                    if not (child.is_dir() and child.name.startswith(_TMP_PREFIX)):
+                        continue
+                    try:
+                        age = now - child.stat().st_mtime
+                    except OSError:
+                        continue
+                    if age < self.TMP_SWEEP_MIN_AGE_SECONDS:
+                        continue
+                    if not dry_run:
+                        shutil.rmtree(child, ignore_errors=True)
+                    temp_swept += 1
+        return {
+            "removed": removed,
+            "removed_bytes": sum(entry["size_bytes"] for entry in removed),
+            "temp_dirs_swept": temp_swept,
+            "dry_run": dry_run,
+        }
+
+
+def _tree_size(path: Path) -> int:
+    total = 0
+    for child in path.rglob("*"):
+        with contextlib.suppress(OSError):
+            if child.is_file():
+                total += child.stat().st_size
+    return total
+
+
+def _repro_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+# ---------------------------------------------------------------------- #
+# Active-store management
+# ---------------------------------------------------------------------- #
+_active_store: Optional[ArtifactStore] = None
+
+
+def get_active_store() -> Optional[ArtifactStore]:
+    """The store experiment code routes through (None = no caching)."""
+    return _active_store
+
+
+def set_active_store(store: Optional[ArtifactStore]) -> Optional[ArtifactStore]:
+    """Set the process-wide active store; returns the previous one."""
+    global _active_store
+    previous = _active_store
+    _active_store = store
+    return previous
+
+
+@contextlib.contextmanager
+def use_store(store: Optional[ArtifactStore]) -> Iterator[Optional[ArtifactStore]]:
+    """Activate ``store`` for the enclosed block (restores the previous one)."""
+    previous = set_active_store(store)
+    try:
+        yield store
+    finally:
+        set_active_store(previous)
+
+
+def resolve_store(store: Optional[ArtifactStore] = None) -> Optional[ArtifactStore]:
+    """An explicit store if given, else the active store (possibly None)."""
+    return store if store is not None else get_active_store()
+
+
+__all__ = [
+    "ArtifactStore",
+    "BuildInfo",
+    "StoreStats",
+    "MANIFEST_FILE",
+    "STORE_ENV",
+    "DEFAULT_STORE_DIR",
+    "get_active_store",
+    "set_active_store",
+    "use_store",
+    "resolve_store",
+]

@@ -117,14 +117,34 @@ class EstimationService:
         self._metadata: Dict[str, Dict[str, Any]] = {}
         self._stats: Dict[str, ModelStats] = {}
 
+    @classmethod
+    def from_store(cls, store, **kwargs) -> "EstimationService":
+        """A service over a pipeline artifact store's trained models.
+
+        Every :class:`repro.pipeline.TrainSpec` artifact is saved in the
+        persistence layout under ``<store>/train/<spec-hash>/``, so the
+        store's ``train/`` namespace is directly a model directory: models
+        are addressed by their spec hash (``service.estimate(train_spec.
+        spec_hash, ...)``).  ``kwargs`` are forwarded to the constructor.
+        """
+        return cls(model_dir=store.models_dir(), **kwargs)
+
     # ------------------------------------------------------------------ #
     # Model store
     # ------------------------------------------------------------------ #
     def available_models(self) -> List[str]:
-        """Names of every servable model (in-memory plus on-disk)."""
+        """Names of every servable model (in-memory plus on-disk).
+
+        Dot-prefixed directories are skipped: the artifact store builds
+        models inside hidden ``.tmp-*`` siblings before atomically renaming
+        them into place, and a half-written temp dir must never be listed
+        (or loaded) as a model.
+        """
         names = set(self._estimators)
         if self.model_dir is not None and self.model_dir.is_dir():
             for child in sorted(self.model_dir.iterdir()):
+                if child.name.startswith("."):
+                    continue
                 if (child / SIDECAR_FILE).is_file():
                     names.add(child.name)
         return sorted(names)
@@ -172,7 +192,7 @@ class EstimationService:
         if self.model_dir is None:
             raise KeyError(f"unknown model {name!r} (no model_dir configured)")
         path = self.model_dir / name
-        if not (path / SIDECAR_FILE).is_file():
+        if name.startswith(".") or not (path / SIDECAR_FILE).is_file():
             raise KeyError(
                 f"unknown model {name!r}; available: {self.available_models()}"
             )
