@@ -1,0 +1,99 @@
+"""Network serving tier — saturation knees and shm-vs-pickling transport.
+
+Not a paper table: this benchmark measures the repo's own network tier
+(`repro.net`).  Each scenario stands up a real loopback TCP server over
+shared-memory worker shards and sweeps *offered* load (open loop: batches
+are sent on a fixed wall-clock schedule regardless of server progress); the
+knee of a scenario is the highest offered rate the tier still sustains.  A
+transport micro-benchmark rides along, comparing single-batch round trips
+through the ``network`` backend's shared-memory slots against the
+``process`` backend's pickled executor arguments — the zero-copy data plane
+must win.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro import create_estimator
+from repro.eval.harness import build_setting_split
+from repro.net import (
+    SaturationScenario,
+    run_saturation_benchmark,
+    transport_roundtrip_compare,
+)
+
+SCENARIOS = (
+    SaturationScenario(name="fixed-1shard", num_shards=1),
+    SaturationScenario(name="fixed-2shard", num_shards=2),
+    SaturationScenario(
+        name="autoscale-1to4", num_shards=1, autoscale=True, min_shards=1, max_shards=4
+    ),
+)
+OFFERED_LOADS = (250.0, 1000.0, 4000.0)
+DURATION_SECONDS = 1.0
+BATCH_SIZE = 32
+CONNECTIONS = 4
+COMPARE_BATCHES = (32, 128)
+SEED = 0
+
+
+def _sweep(tiny_scale):
+    split = build_setting_split("face-cos", tiny_scale, seed=0)
+    estimator = create_estimator("kde", num_samples=128, seed=0).fit(split)
+    folds = (split.train, split.validation, split.test)
+    queries = np.concatenate([fold.queries for fold in folds])
+    thresholds = np.concatenate([fold.thresholds for fold in folds])
+
+    reports = [
+        run_saturation_benchmark(
+            scenario,
+            "kde",
+            queries,
+            thresholds,
+            estimator=estimator,
+            offered_loads=OFFERED_LOADS,
+            duration_seconds=DURATION_SECONDS,
+            batch_size=BATCH_SIZE,
+            connections=CONNECTIONS,
+            seed=SEED,
+        )
+        for scenario in SCENARIOS
+    ]
+    compare = transport_roundtrip_compare(
+        estimator, "kde", queries, thresholds, batch_sizes=COMPARE_BATCHES, repeats=15
+    )
+    return reports, compare
+
+
+def _format(reports, compare) -> str:
+    lines = ["Network tier saturation on face-cos [tiny]"]
+    for report in reports:
+        lines.append(report.text)
+    lines.append("Transport round trip (1 worker shard, median ms/batch):")
+    network = compare["network"]["median_roundtrip_ms"]
+    process = compare["process"]["median_roundtrip_ms"]
+    for key in network:
+        speedup = compare["speedup_process_over_network"][key]
+        lines.append(
+            f"  batch {key:>4}: shm {network[key]:7.3f} ms  "
+            f"pickling {process[key]:7.3f} ms  ({speedup:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def test_net_saturation(tiny_scale, save_result, benchmark):
+    reports, compare = run_once(benchmark, lambda: _sweep(tiny_scale))
+    save_result("net_saturation", _format(reports, compare))
+    by_name = {report.scenario: report for report in reports}
+    for report in reports:
+        assert report.knee_rps > 0
+        assert all(point.batches_completed > 0 for point in report.points)
+    assert by_name["fixed-2shard"].final_shards == 2
+    autoscaled = by_name["autoscale-1to4"]
+    assert autoscaled.final_shards >= 1
+    # The zero-copy shm data plane must beat pickling for at least one (and
+    # in practice every) batch size.
+    speedups = compare["speedup_process_over_network"]
+    assert max(speedups.values()) > 1.0

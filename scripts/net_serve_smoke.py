@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""CI smoke test for the network serving tier.
+
+Boots ``repro serve`` (network backend, autoscaling 1..2 shards) against the
+models of an artifact store, then — using nothing but :mod:`urllib` —
+
+1. waits for ``GET /healthz``,
+2. runs one ``POST /estimate`` batch and checks the result shape,
+3. reads ``GET /stats`` and ``GET /models``,
+4. hot-reloads via ``POST /models/reload``,
+5. hammers ``/estimate`` from several threads until the autoscaler grows the
+   cluster past one shard (one scale-up event), and
+6. sends SIGINT and asserts the server exits cleanly with status 0.
+
+Exits non-zero (with the server's output) on any failed step, so a CI job
+can call it directly::
+
+    python scripts/net_serve_smoke.py --store /tmp/repro-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+
+def _call(base: str, path: str, body=None, timeout: float = 30.0):
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _fail(proc: subprocess.Popen, message: str) -> "NoReturn":  # noqa: F821
+    proc.kill()
+    output = proc.stdout.read() if proc.stdout else ""
+    sys.exit(f"net smoke FAILED: {message}\n--- server output ---\n{output}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", required=True, help="artifact store directory")
+    parser.add_argument("--timeout", type=float, default=180.0)
+    args = parser.parse_args()
+    deadline = time.monotonic() + args.timeout
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--from-store", args.store,
+            "--port", "0", "--binary-port", "-2",
+            "--backend", "network", "--shards", "1", "--queue-capacity", "2",
+            "--autoscale", "--min-shards", "1", "--max-shards", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    base = None
+    while base is None:
+        if time.monotonic() > deadline:
+            _fail(proc, "server never announced its address")
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            _fail(proc, f"server exited early (status {proc.returncode})")
+        if " on http://" in line:
+            base = line.strip().rsplit(" on ", 1)[1]
+    print(f"server up at {base}")
+
+    while True:  # 1. health
+        try:
+            if _call(base, "/healthz", timeout=2.0).get("ok"):
+                break
+        except Exception:
+            pass
+        if time.monotonic() > deadline:
+            _fail(proc, "/healthz never turned healthy")
+        time.sleep(0.1)
+
+    try:
+        catalog = _call(base, "/models")
+        if not catalog["models"]:
+            _fail(proc, f"store exposes no models: {catalog}")
+        model = catalog["models"][0]
+        dim = int(catalog["described"][model]["input_dim"])
+        print(f"serving model {model!r} (dim {dim})")
+
+        rng = random.Random(0)
+        queries = [[rng.uniform(-1, 1) for _ in range(dim)] for _ in range(8)]
+        thresholds = [rng.uniform(0.4, 1.0) for _ in range(8)]
+        estimate = _call(
+            base, "/estimate",
+            {"model": model, "queries": queries, "thresholds": thresholds},
+        )
+        if len(estimate["results"]) != 8:  # 2. estimate
+            _fail(proc, f"expected 8 results, got {estimate}")
+        print(f"estimate OK ({estimate['results'][:2]}...)")
+
+        stats = _call(base, "/stats")  # 3. stats
+        if stats["cluster"]["num_shards"] != 1:
+            _fail(proc, f"expected 1 shard at start, got {stats['cluster']['num_shards']}")
+        reloaded = _call(base, "/models/reload", {})  # 4. hot reload
+        if len(reloaded["shards"]) != 1:
+            _fail(proc, f"reload did not reach the shard: {reloaded}")
+        print("stats + reload OK")
+
+        # 5. saturate the bounded queue until the autoscaler reacts
+        stop = threading.Event()
+        burst_queries = [[rng.uniform(-1, 1) for _ in range(dim)] for _ in range(64)]
+        burst_thresholds = [rng.uniform(0.4, 1.0) for _ in range(64)]
+        body = {
+            "model": model,
+            "queries": burst_queries,
+            "thresholds": burst_thresholds,
+            "use_cache": False,
+        }
+
+        def _hammer() -> None:
+            while not stop.is_set():
+                try:
+                    _call(base, "/estimate", body, timeout=60.0)
+                except Exception:
+                    if stop.is_set():
+                        return
+
+        threads = [threading.Thread(target=_hammer, daemon=True) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        scaled = False
+        try:
+            while time.monotonic() < deadline:
+                stats = _call(base, "/stats")
+                actions = stats.get("autoscaler", {}).get("actions", [])
+                if stats["cluster"]["num_shards"] >= 2 or any(
+                    event for event in stats["cluster"]["scale_events"]
+                ) or actions:
+                    scaled = True
+                    break
+                time.sleep(0.25)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+        if not scaled:
+            _fail(proc, "autoscaler never scaled past one shard under load")
+        print("autoscale-up event observed")
+    except SystemExit:
+        raise
+    except Exception as error:  # noqa: BLE001 - report, then dump server output
+        _fail(proc, f"{type(error).__name__}: {error}")
+
+    # 6. clean teardown
+    proc.send_signal(signal.SIGINT)
+    try:
+        proc.wait(timeout=60.0)
+    except subprocess.TimeoutExpired:
+        _fail(proc, "server did not exit after SIGINT")
+    if proc.returncode != 0:
+        _fail(proc, f"server exited with status {proc.returncode}")
+    print("clean shutdown; net smoke OK")
+
+
+if __name__ == "__main__":
+    main()

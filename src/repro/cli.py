@@ -21,6 +21,9 @@ Usage::
     repro oracle-bench --n 50000 --dim 128 --num-workers 4 --output BENCH_oracle.json
     repro cluster-bench models/selnet-faces --shards 4    # sharded serving tier
 
+    repro serve --from-store .repro-artifacts --port 8585 --autoscale
+    repro saturate models/selnet-faces --output BENCH_net.json
+
 (``repro`` is the console script installed by ``setup.py``; ``python -m
 repro`` and ``python -m repro.cli`` are equivalent.)  The experiment
 commands (``run`` / ``table`` / ``figure``) execute spec-driven pipelines
@@ -353,6 +356,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="request pool: the test fold or every workload fold",
     )
     bench_parser.add_argument("--no-cache", action="store_true", help="bypass the curve cache")
+    bench_parser.add_argument(
+        "--from-store",
+        default=None,
+        metavar="DIR",
+        help="treat MODEL as a model name inside this artifact store's train/ "
+        "namespace and rebuild its workload from the recorded pipeline spec",
+    )
+    bench_parser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="also write the full benchmark report as JSON",
+    )
 
     infer_parser = subparsers.add_parser(
         "infer-bench",
@@ -439,9 +455,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--shards", type=int, default=2, help="number of worker shards")
     cluster_parser.add_argument(
         "--backend",
-        choices=("inline", "process"),
+        choices=("inline", "process", "network"),
         default="inline",
-        help="inline (in-process shards) or process (one worker process per shard)",
+        help="inline (in-process shards), process (one worker process per "
+        "shard) or network (process shards over shared-memory transport)",
     )
     cluster_parser.add_argument(
         "--replication", type=int, default=1, help="replica set size per (model, query) key"
@@ -485,6 +502,116 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-baseline",
         action="store_true",
         help="skip the single-process serve-bench comparison run",
+    )
+    cluster_parser.add_argument(
+        "--from-store",
+        default=None,
+        metavar="DIR",
+        help="treat MODEL as a model name inside this artifact store's train/ "
+        "namespace and rebuild its workload from the recorded pipeline spec",
+    )
+    cluster_parser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="also write the full benchmark report as JSON",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve estimators over HTTP (JSON) and a binary TCP protocol",
+    )
+    serve_parser.add_argument(
+        "model_dir",
+        nargs="?",
+        default=None,
+        help="directory of saved estimators to serve (or use --from-store)",
+    )
+    serve_parser.add_argument(
+        "--from-store",
+        default=None,
+        metavar="DIR",
+        help="serve the trained models of this artifact store (its train/ namespace)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8585, help="HTTP port")
+    serve_parser.add_argument(
+        "--binary-port",
+        type=int,
+        default=None,
+        help="binary-protocol port (default: HTTP port + 1; negative disables)",
+    )
+    serve_parser.add_argument("--shards", type=int, default=1, help="initial worker shards")
+    serve_parser.add_argument(
+        "--backend",
+        choices=("inline", "process", "network"),
+        default="network",
+        help="shard backend (default: network, shared-memory process shards)",
+    )
+    serve_parser.add_argument(
+        "--queue-capacity", type=int, default=8, help="bounded per-shard queue size"
+    )
+    serve_parser.add_argument(
+        "--policy",
+        choices=("block", "shed"),
+        default="block",
+        help="admission control when a shard queue is full",
+    )
+    serve_parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="scale shards elastically on queue pressure",
+    )
+    serve_parser.add_argument("--min-shards", type=int, default=1)
+    serve_parser.add_argument("--max-shards", type=int, default=4)
+    serve_parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="exit after this many seconds (default: run until interrupted)",
+    )
+
+    saturate_parser = subparsers.add_parser(
+        "saturate",
+        help="open-loop saturation benchmark of the network serving tier",
+        parents=[seed0()],
+    )
+    saturate_parser.add_argument("model", help="path to a saved estimator directory")
+    saturate_parser.add_argument(
+        "--from-store",
+        default=None,
+        metavar="DIR",
+        help="treat MODEL as a model name inside this artifact store's train/ namespace",
+    )
+    saturate_parser.add_argument(
+        "--loads",
+        default="250,1000,4000,16000",
+        help="comma-separated offered loads (requests/s) to sweep",
+    )
+    saturate_parser.add_argument(
+        "--duration", type=float, default=2.0, help="seconds of traffic per load point"
+    )
+    saturate_parser.add_argument("--batch", type=int, default=32, help="rows per request batch")
+    saturate_parser.add_argument(
+        "--connections", type=int, default=4, help="concurrent sender connections"
+    )
+    saturate_parser.add_argument(
+        "--max-shards", type=int, default=4, help="autoscaler ceiling for the elastic scenario"
+    )
+    saturate_parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the results as JSON (e.g. BENCH_net.json)",
+    )
+    saturate_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: short sweeps, small batches",
+    )
+    saturate_parser.add_argument(
+        "--no-transport-compare",
+        action="store_true",
+        help="skip the shm-vs-pickle transport micro-benchmark",
     )
     return parser
 
@@ -875,11 +1002,72 @@ def _bench_pool(split, pool: str):
     )
 
 
+def _store_model_path(store_root: str, model_name: str):
+    """The saved-model directory for ``model_name`` inside an artifact store."""
+    from .persistence import SIDECAR_FILE
+    from .pipeline import ArtifactStore
+
+    store = ArtifactStore(store_root)
+    models_dir = store.models_dir()
+    model_path = models_dir / model_name
+    if not (model_path / SIDECAR_FILE).is_file():
+        available = sorted(
+            child.name
+            for child in (models_dir.iterdir() if models_dir.is_dir() else [])
+            if not child.name.startswith(".") and (child / SIDECAR_FILE).is_file()
+        )
+        raise SystemExit(
+            f"no model {model_name!r} in store {store_root} "
+            f"(train/ holds: {available or 'nothing'})"
+        )
+    return store, model_path
+
+
+def _resolve_bench_model(args):
+    """The benchmark's ``(model_path, split)``, honoring ``--from-store``.
+
+    With ``--from-store`` the positional MODEL is a model name inside the
+    store's ``train/`` namespace; the workload it was fitted on is rebuilt
+    from the ``pipeline_spec`` its sidecar records (a store cache hit when
+    the workload artifact still exists — no recomputation).
+    """
+    if getattr(args, "from_store", None):
+        from .pipeline import spec_from_canonical, use_store
+
+        store, model_path = _store_model_path(args.from_store, args.model)
+        recorded = _recorded_training(model_path)
+        canonical = recorded.get("pipeline_spec")
+        if canonical is None:
+            raise SystemExit(
+                f"{model_path} does not record a pipeline spec; cannot rebuild "
+                "its workload (was it trained via `repro train` instead of the "
+                "pipeline?)"
+            )
+        train_spec = spec_from_canonical(canonical)
+        with use_store(store):
+            split = store.get_or_build(
+                train_spec.workload,
+                num_workers=getattr(args, "num_workers", None),
+                block_bytes=_block_bytes(args),
+                progress=bool(getattr(args, "progress", False)) or None,
+            )
+        return model_path, split
+    model_path = Path(args.model)
+    return model_path, _bench_split(model_path, args)
+
+
+def _write_stats_json(path: str, payload) -> None:
+    from .persistence import _jsonify
+
+    target = Path(path)
+    target.write_text(json.dumps(_jsonify(payload), indent=2) + "\n")
+    print(f"wrote {target}")
+
+
 def _cmd_serve_bench(args) -> int:
     from .serving import EstimationService, run_serving_benchmark
 
-    model_path = Path(args.model)
-    split = _bench_split(model_path, args)
+    model_path, split = _resolve_bench_model(args)
     queries, thresholds = _bench_pool(split, args.pool)
 
     service = EstimationService(
@@ -901,6 +1089,10 @@ def _cmd_serve_bench(args) -> int:
         scenario=args.scenario,
     )
     print(report.text)
+    if args.stats_json:
+        import dataclasses
+
+        _write_stats_json(args.stats_json, dataclasses.asdict(report))
     return 0
 
 
@@ -1007,8 +1199,7 @@ def _cmd_cluster_bench(args) -> int:
     from .cluster import ClusterConfig, EstimationCluster, run_cluster_benchmark
     from .serving import EstimationService, run_serving_benchmark
 
-    model_path = Path(args.model)
-    split = _bench_split(model_path, args)
+    model_path, split = _resolve_bench_model(args)
     queries, thresholds = _bench_pool(split, args.pool)
 
     config = ClusterConfig(
@@ -1038,6 +1229,7 @@ def _cmd_cluster_bench(args) -> int:
         )
     print(report.text)
 
+    baseline = None
     if not args.no_baseline:
         # The same stream against one process with one shard's resources:
         # the honest single-node comparison for the per-shard settings above.
@@ -1065,6 +1257,170 @@ def _cmd_cluster_bench(args) -> int:
             f"(cache hit rate {100.0 * baseline.cache_hit_rate:.1f} %)"
         )
         print(f"  cluster speedup   : {speedup:>10.2f} x over single-process serve-bench")
+    if args.stats_json:
+        import dataclasses
+
+        _write_stats_json(
+            args.stats_json,
+            {
+                "cluster": dataclasses.asdict(report),
+                "baseline": None if baseline is None else dataclasses.asdict(baseline),
+            },
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import threading
+
+    from .net import build_server
+
+    if (args.model_dir is None) == (args.from_store is None):
+        raise SystemExit("serve needs exactly one of MODEL_DIR or --from-store DIR")
+    if args.from_store:
+        from .pipeline import ArtifactStore
+
+        model_dir = ArtifactStore(args.from_store).models_dir()
+    else:
+        model_dir = Path(args.model_dir)
+    if not model_dir.is_dir():
+        raise SystemExit(f"model directory {model_dir} does not exist")
+
+    if args.binary_port is None:
+        binary_port = -1  # HTTP port + 1
+    elif args.binary_port < 0:
+        binary_port = None  # disabled
+    else:
+        binary_port = args.binary_port
+    server = build_server(
+        model_dir,
+        host=args.host,
+        port=args.port,
+        binary_port=binary_port,
+        num_shards=args.shards,
+        backend=args.backend,
+        queue_capacity=args.queue_capacity,
+        overload_policy=args.policy,
+        autoscale=args.autoscale,
+        min_shards=args.min_shards,
+        max_shards=args.max_shards,
+    )
+    with server:
+        host, port = server.http_address
+        models = server.app.catalog.available_models()
+        print(f"serving {model_dir} on http://{host}:{port}", flush=True)
+        if server.binary_address is not None:
+            bhost, bport = server.binary_address
+            print(f"  binary protocol   : {bhost}:{bport}", flush=True)
+        print(f"  backend / shards  : {args.backend} x {args.shards}"
+              + (f" (autoscale {args.min_shards}-{args.max_shards})" if args.autoscale else ""))
+        print(f"  models            : {', '.join(models) if models else '(none found)'}")
+        print(
+            "  endpoints         : GET /healthz /stats /models | "
+            "POST /estimate /update /models/reload",
+            flush=True,
+        )
+        try:
+            if args.max_seconds is not None:
+                time.sleep(args.max_seconds)
+            else:
+                threading.Event().wait()
+        except KeyboardInterrupt:
+            print("interrupted; shutting down")
+    return 0
+
+
+def _cmd_saturate(args) -> int:
+    import dataclasses
+
+    from .net.saturate import (
+        SaturationScenario,
+        run_saturation_benchmark,
+        transport_roundtrip_compare,
+    )
+
+    model_path, split = _resolve_bench_model(args)
+    queries, thresholds = _bench_pool(split, "all")
+    model_dir, model_name = model_path.parent, model_path.name
+
+    if args.smoke:
+        loads = (200.0, 800.0)
+        duration, batch, connections = 0.5, 16, 2
+        max_shards = min(args.max_shards, 2)
+        compare_batches, compare_repeats = (16, 64), 5
+    else:
+        try:
+            loads = tuple(float(part) for part in args.loads.split(",") if part)
+        except ValueError:
+            raise SystemExit(f"--loads expects comma-separated numbers, got {args.loads!r}")
+        duration, batch, connections = args.duration, args.batch, args.connections
+        max_shards = args.max_shards
+        compare_batches, compare_repeats = (32, 128, 256), 20
+
+    scenarios = [
+        SaturationScenario(name="fixed-1shard", backend="network", num_shards=1),
+        SaturationScenario(name="fixed-2shard", backend="network", num_shards=2),
+        SaturationScenario(
+            name="autoscale",
+            backend="network",
+            num_shards=1,
+            autoscale=True,
+            min_shards=1,
+            max_shards=max_shards,
+        ),
+    ]
+    reports = []
+    for scenario in scenarios:
+        report = run_saturation_benchmark(
+            scenario,
+            model_name,
+            queries,
+            thresholds,
+            model_dir=model_dir,
+            offered_loads=loads,
+            duration_seconds=duration,
+            batch_size=batch,
+            connections=connections,
+            seed=args.seed,
+        )
+        print(report.text, flush=True)
+        reports.append(report)
+
+    payload = {
+        "metadata": {
+            "model": model_name,
+            "offered_loads": list(loads),
+            "duration_seconds": duration,
+            "batch_size": batch,
+            "connections": connections,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+        },
+        "scenarios": [dataclasses.asdict(report) for report in reports],
+    }
+    if not args.no_transport_compare:
+        from .persistence import load_estimator
+
+        compare = transport_roundtrip_compare(
+            load_estimator(model_path),
+            model_name,
+            queries,
+            thresholds,
+            batch_sizes=compare_batches,
+            repeats=compare_repeats,
+        )
+        payload["transport_roundtrip"] = compare
+        print("transport round trip (median ms, shm network vs pickling process):")
+        for key in compare["network"]["median_roundtrip_ms"]:
+            net_ms = compare["network"]["median_roundtrip_ms"][key]
+            proc_ms = compare["process"]["median_roundtrip_ms"][key]
+            ratio = compare["speedup_process_over_network"][key]
+            print(
+                f"  batch {key:>4}: network {net_ms:7.3f} ms  process {proc_ms:7.3f} ms  "
+                f"({ratio:.2f}x)"
+            )
+    if args.output:
+        _write_stats_json(args.output, payload)
     return 0
 
 
@@ -1126,6 +1482,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_oracle_bench(args)
     if args.command == "cluster-bench":
         return _cmd_cluster_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "saturate":
+        return _cmd_saturate(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2

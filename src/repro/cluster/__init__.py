@@ -13,10 +13,17 @@ See :class:`EstimationCluster` for the entry point::
 tier with the scenarios of :mod:`repro.workloads`.
 """
 
-from .backends import BACKENDS, InlineShardBackend, ProcessShardBackend, ShardFuture
+from .backends import (
+    BACKENDS,
+    InlineShardBackend,
+    ProcessShardBackend,
+    ShardFuture,
+    register_backend,
+)
 from .bench import ClusterBenchmarkReport, run_cluster_benchmark
 from .cluster import (
     OVERLOAD_POLICIES,
+    ClusterClosedError,
     ClusterConfig,
     ClusterEstimateFuture,
     ClusterOverloadedError,
@@ -28,6 +35,7 @@ __all__ = [
     "EstimationCluster",
     "ClusterConfig",
     "ClusterEstimateFuture",
+    "ClusterClosedError",
     "ClusterOverloadedError",
     "OVERLOAD_POLICIES",
     "ShardRouter",
@@ -35,6 +43,7 @@ __all__ = [
     "InlineShardBackend",
     "ProcessShardBackend",
     "BACKENDS",
+    "register_backend",
     "ClusterBenchmarkReport",
     "run_cluster_benchmark",
 ]

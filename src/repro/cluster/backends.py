@@ -28,8 +28,9 @@ cluster tier is backend-agnostic.
 from __future__ import annotations
 
 import pickle
+import threading
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence, Type
 
 import numpy as np
 
@@ -38,7 +39,16 @@ from ..serving import EstimationService
 
 
 class ShardFuture:
-    """Uniform handle on one submitted shard call (inline thunk or future)."""
+    """Uniform handle on one submitted shard call (inline thunk or future).
+
+    Thread-safe: concurrent ``result()`` callers serialize on an internal
+    lock and all observe the same outcome.  Exceptions are cached exactly
+    like values — once a call has failed, every caller sees the same error
+    instead of re-executing (or, worse, blocking forever on a backend that
+    will never answer).  ``cancel`` injects such a terminal error for work
+    that can no longer complete (e.g. the cluster is shutting down while a
+    shard died mid-batch).
+    """
 
     def __init__(
         self,
@@ -49,14 +59,33 @@ class ShardFuture:
             raise ValueError("exactly one of compute / future is required")
         self._compute = compute
         self._future = future
+        self._lock = threading.Lock()
         self._done = False
         self._value: Any = None
+        self._error: Optional[BaseException] = None
 
     def result(self) -> Any:
-        if not self._done:
-            self._value = self._compute() if self._future is None else self._future.result()
+        with self._lock:
+            if not self._done:
+                try:
+                    self._value = (
+                        self._compute() if self._future is None else self._future.result()
+                    )
+                except BaseException as error:
+                    self._error = error
+                self._done = True
+            if self._error is not None:
+                raise self._error
+            return self._value
+
+    def cancel(self, error: BaseException) -> bool:
+        """Settle the call with ``error`` unless it already completed."""
+        with self._lock:
+            if self._done:
+                return False
+            self._error = error
             self._done = True
-        return self._value
+            return True
 
     @property
     def done(self) -> bool:
@@ -112,6 +141,9 @@ class InlineShardBackend:
     def stats(self) -> ShardFuture:
         return ShardFuture(compute=self.service.stats)
 
+    def reload(self) -> ShardFuture:
+        return ShardFuture(compute=self.service.reload_models)
+
     def close(self) -> None:
         pass
 
@@ -166,6 +198,10 @@ def _worker_stats(service_kwargs: Dict[str, Any]) -> Dict[str, Any]:
     return _worker_service(service_kwargs).stats()
 
 
+def _worker_reload(service_kwargs: Dict[str, Any]):
+    return _worker_service(service_kwargs).reload_models()
+
+
 class ProcessShardBackend:
     """A shard hosted by its own single-worker process pool.
 
@@ -209,11 +245,27 @@ class ProcessShardBackend:
     def stats(self) -> ShardFuture:
         return ShardFuture(future=self._executor.submit(_worker_stats, self._service_kwargs))
 
+    def reload(self) -> ShardFuture:
+        return ShardFuture(future=self._executor.submit(_worker_reload, self._service_kwargs))
+
     def close(self) -> None:
         self._executor.shutdown(wait=True)
 
 
-BACKENDS = {
+BACKENDS: Dict[str, Type] = {
     InlineShardBackend.name: InlineShardBackend,
     ProcessShardBackend.name: ProcessShardBackend,
 }
+
+
+def register_backend(name: str, backend_cls: Type) -> None:
+    """Register a shard backend class under ``name`` (idempotent).
+
+    Out-of-package backends (the shared-memory ``network`` backend of
+    :mod:`repro.net`) register themselves through this hook so the cluster
+    tier itself stays import-light.
+    """
+    existing = BACKENDS.get(name)
+    if existing is not None and existing is not backend_cls:
+        raise ValueError(f"shard backend {name!r} is already registered to {existing!r}")
+    BACKENDS[name] = backend_cls

@@ -28,6 +28,7 @@ rate, queue depth and p50/p95/p99 sub-batch latency.
 from __future__ import annotations
 
 import pickle
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -54,6 +55,22 @@ class ClusterOverloadedError(RuntimeError):
     """Raised under the ``shed`` policy when a shard's queue is full."""
 
 
+class ClusterClosedError(RuntimeError):
+    """Raised by in-flight calls that a cluster shutdown had to abandon."""
+
+
+def _resolve_backend(name: str):
+    """The registered backend class, importing :mod:`repro.net` on demand.
+
+    The ``network`` backend lives outside this package and registers itself
+    on import; resolving it here means ``ClusterConfig(backend="network")``
+    works without the caller ever importing ``repro.net``.
+    """
+    if name not in BACKENDS and name == "network":
+        from .. import net  # noqa: F401  (import side effect: registration)
+    return BACKENDS.get(name)
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Everything needed to stand up an estimation cluster.
@@ -77,11 +94,15 @@ class ClusterConfig:
     cache_key_decimals: int = DEFAULT_KEY_DECIMALS
     #: serve through compiled inference kernels inside every shard's service
     use_compiled: bool = True
+    #: ``network`` backend: bytes per shared-memory transport slot
+    shm_slot_bytes: int = 1 << 20
+    #: ``network`` backend: preload disk-backed models at shard spawn
+    warm_models: bool = True
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
             raise ValueError("num_shards must be at least 1")
-        if self.backend not in BACKENDS:
+        if _resolve_backend(self.backend) is None:
             raise ValueError(f"unknown backend {self.backend!r}; available: {sorted(BACKENDS)}")
         if self.overload_policy not in OVERLOAD_POLICIES:
             raise ValueError(
@@ -103,11 +124,21 @@ class _PendingCall:
 
 
 class _Shard:
-    """Cluster-side accounting around one backend shard."""
+    """Cluster-side accounting around one backend shard.
+
+    ``lock`` guards the pending queue, counters and the latency window so
+    concurrent client threads (the network serving tier) can submit and
+    gather simultaneously.  Claiming a backend result happens *outside* the
+    lock — one slow shard call must never block another thread's
+    bookkeeping — and settlement is idempotent, so a call raced by its
+    owner, an admission-control drain and ``close()`` is released exactly
+    once.
+    """
 
     def __init__(self, shard_id: int, backend) -> None:
         self.shard_id = shard_id
         self.backend = backend
+        self.lock = threading.Lock()
         self.pending: Deque[_PendingCall] = deque()
         self.requests = 0
         self.sub_batches = 0
@@ -123,28 +154,68 @@ class _Shard:
 
     def track(self, future: ShardFuture, rows: int) -> _PendingCall:
         call = _PendingCall(future=future, rows=rows, submitted_at=time.perf_counter())
-        self.pending.append(call)
-        self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+        with self.lock:
+            self.pending.append(call)
+            self.max_queue_depth = max(self.max_queue_depth, len(self.pending))
         return call
 
     def settle(self, call: _PendingCall) -> Any:
         """Claim one call's result and release its queue slot (idempotent)."""
-        value = call.future.result()
-        if not call.settled:
-            call.settled = True
-            self.latencies_ms.append(1000.0 * (time.perf_counter() - call.submitted_at))
-            self.pending.remove(call)
+        try:
+            value = call.future.result()
+        finally:
+            # A failed call must release its queue slot too — otherwise a
+            # dead shard's queue stays "full" and blocks admission forever.
+            with self.lock:
+                if not call.settled:
+                    call.settled = True
+                    self.latencies_ms.append(
+                        1000.0 * (time.perf_counter() - call.submitted_at)
+                    )
+                    try:
+                        self.pending.remove(call)
+                    except ValueError:  # pragma: no cover - already released
+                        pass
         return value
 
+    def oldest_pending(self) -> Optional[_PendingCall]:
+        with self.lock:
+            return self.pending[0] if self.pending else None
+
     def drain_oldest(self) -> None:
-        if self.pending:
-            self.settle(self.pending[0])
+        call = self.oldest_pending()
+        if call is not None:
+            try:
+                self.settle(call)
+            except ClusterClosedError:
+                pass
+
+    def drain_all(self, cancel_error: Optional[BaseException] = None) -> None:
+        """Settle every pending call; optionally cancel those that cannot
+        complete (their owners then observe ``cancel_error`` instead of
+        blocking forever)."""
+        while True:
+            call = self.oldest_pending()
+            if call is None:
+                return
+            if cancel_error is not None:
+                call.future.cancel(cancel_error)
+            try:
+                self.settle(call)
+            except BaseException:
+                # The error is cached in the future for the call's owner.
+                pass
 
     def latency_percentiles(self) -> Dict[str, float]:
-        """Percentiles over the sliding window of recent sub-batch latencies."""
-        if not self.latencies_ms:
+        """Percentiles over the sliding window of recent sub-batch latencies.
+
+        A shard with zero settled calls reports all-zero percentiles (a
+        freshly spawned shard must not crash ``stats()``).
+        """
+        with self.lock:
+            array = np.asarray(self.latencies_ms)
+        if array.size == 0:
             return {"mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
-        array = np.asarray(self.latencies_ms)
         return {
             "mean_ms": float(array.mean()),
             "p50_ms": float(np.percentile(array, 50)),
@@ -165,16 +236,18 @@ class ClusterEstimateFuture:
         self._cluster = cluster
         self._num_rows = num_rows
         self._parts = parts
+        self._lock = threading.Lock()
         self._result: Optional[np.ndarray] = None
 
     def result(self) -> np.ndarray:
         """Gather every shard's sub-batch and reassemble in request order."""
-        if self._result is None:
-            results = np.empty(self._num_rows, dtype=np.float64)
-            for shard, positions, call in self._parts:
-                results[positions] = shard.settle(call)
-            self._result = results
-        return self._result
+        with self._lock:
+            if self._result is None:
+                results = np.empty(self._num_rows, dtype=np.float64)
+                for shard, positions, call in self._parts:
+                    results[positions] = shard.settle(call)
+                self._result = results
+            return self._result
 
 
 class EstimationCluster:
@@ -186,15 +259,22 @@ class EstimationCluster:
         elif overrides:
             raise TypeError("pass either a ClusterConfig or keyword overrides, not both")
         self.config = config
-        self.router = ShardRouter(
-            num_shards=config.num_shards,
-            replication_factor=config.replication_factor,
-            virtual_nodes=config.virtual_nodes,
-            decimals=config.cache_key_decimals,
-        )
-        backend_cls = BACKENDS[config.backend]
-        self._shards = [_Shard(i, backend_cls(config)) for i in range(config.num_shards)]
+        self._backend_cls = _resolve_backend(config.backend)
+        self._lock = threading.RLock()
+        self.router = self._make_router(config.num_shards)
+        self._shards = [_Shard(i, self._backend_cls(config)) for i in range(config.num_shards)]
+        self._next_shard_id = config.num_shards
+        self._model_payloads: Dict[str, bytes] = {}
+        self._scale_events: List[Dict[str, Any]] = []
         self._closed = False
+
+    def _make_router(self, num_shards: int) -> ShardRouter:
+        return ShardRouter(
+            num_shards=num_shards,
+            replication_factor=min(self.config.replication_factor, num_shards),
+            virtual_nodes=self.config.virtual_nodes,
+            decimals=self.config.cache_key_decimals,
+        )
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "EstimationCluster":
@@ -203,20 +283,86 @@ class EstimationCluster:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def close(self) -> None:
-        """Shut down every shard backend (idempotent)."""
-        if self._closed:
-            return
-        for shard in self._shards:
+    def close(self, drain: bool = True) -> None:
+        """Shut down every shard backend (idempotent).
+
+        With ``drain=True`` (the default) every pending call is settled
+        first, so callers still holding a :class:`ClusterEstimateFuture`
+        gather cached results (or the call's cached failure) instead of
+        blocking on a backend that no longer exists.  With ``drain=False``
+        pending calls are cancelled with :class:`ClusterClosedError` — the
+        fast path when a shard is known to be dead and computing results is
+        impossible or pointless.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            shards = list(self._shards)
+        error = (
+            None
+            if drain
+            else ClusterClosedError("cluster closed before this call completed")
+        )
+        for shard in shards:
+            shard.drain_all(cancel_error=error)
             shard.backend.close()
-        self._closed = True
 
     @property
     def num_shards(self) -> int:
-        return self.config.num_shards
+        return len(self._shards)
 
     def queue_depths(self) -> List[int]:
         return [shard.queue_depth for shard in self._shards]
+
+    # ------------------------------------------------------------------ #
+    # Elasticity
+    # ------------------------------------------------------------------ #
+    def scale_to(self, num_shards: int) -> int:
+        """Grow or shrink the cluster to ``num_shards`` worker shards.
+
+        Scaling up spawns fresh backends (warming from ``model_dir`` /
+        receiving replicas of every in-memory model) and scaling down
+        retires the highest-numbered shards; either way the consistent-hash
+        ring is rebuilt, so only ~``1/num_shards`` of the keyspace remaps.
+        Retired shards are *drained*: their in-flight calls are settled (the
+        results stay cached in each call's future for whoever holds it), so
+        a rebalance never drops or duplicates a response.  Returns the new
+        shard count.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        removed: List[_Shard] = []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster is closed")
+            current = len(self._shards)
+            if num_shards == current:
+                return current
+            if num_shards > current:
+                for _ in range(current, num_shards):
+                    backend = self._backend_cls(self.config)
+                    for name, payload in self._model_payloads.items():
+                        backend.add_model(name, payload).result()
+                    self._shards.append(_Shard(self._next_shard_id, backend))
+                    self._next_shard_id += 1
+            else:
+                removed = self._shards[num_shards:]
+                del self._shards[num_shards:]
+            # Swap the ring before draining: no new work can reach a
+            # retiring shard once the router stops naming it.
+            self.router = self._make_router(num_shards)
+            self._scale_events.append(
+                {
+                    "at": time.time(),
+                    "from_shards": current,
+                    "to_shards": num_shards,
+                }
+            )
+        for shard in removed:
+            shard.drain_all()
+            shard.backend.close()
+        return num_shards
 
     # ------------------------------------------------------------------ #
     # Admission control
@@ -263,7 +409,11 @@ class EstimationCluster:
         the semantics of the process backend, on every backend.
         """
         payload = pickle.dumps(estimator, protocol=pickle.HIGHEST_PROTOCOL)
-        for future in [shard.backend.add_model(name, payload) for shard in self._shards]:
+        with self._lock:
+            # Remembered so shards spawned later (scale_to) get a replica too.
+            self._model_payloads[name] = payload
+            shards = list(self._shards)
+        for future in [shard.backend.add_model(name, payload) for shard in shards]:
             future.result()
 
     # ------------------------------------------------------------------ #
@@ -293,21 +443,29 @@ class EstimationCluster:
                 f"expected aligned (n, dim) queries and (n,) thresholds, got "
                 f"{queries.shape} and {thresholds.shape}"
             )
-        shard_ids = self.router.route_batch(model, queries, loads=self.queue_depths())
-        groups: List[Tuple[_Shard, np.ndarray]] = [
-            (self._shards[int(shard_id)], np.flatnonzero(shard_ids == shard_id))
-            for shard_id in np.unique(shard_ids)
-        ]
-        self._admit_all(groups)
-        parts: List[Tuple[_Shard, np.ndarray, _PendingCall]] = []
-        for shard, positions in groups:
-            future = shard.backend.estimate(
-                model, queries[positions], thresholds[positions], use_cache
-            )
-            call = shard.track(future, rows=len(positions))
-            shard.requests += len(positions)
-            shard.sub_batches += 1
-            parts.append((shard, positions, call))
+        # Routing, admission and submission are one atomic step: a
+        # concurrent ``scale_to`` must not retire a shard between this
+        # batch being routed to it and being handed to its backend, and
+        # admission is all-or-nothing per batch (see ``_admit_all``).
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster is closed")
+            shard_ids = self.router.route_batch(model, queries, loads=self.queue_depths())
+            groups: List[Tuple[_Shard, np.ndarray]] = [
+                (self._shards[int(shard_id)], np.flatnonzero(shard_ids == shard_id))
+                for shard_id in np.unique(shard_ids)
+            ]
+            self._admit_all(groups)
+            parts: List[Tuple[_Shard, np.ndarray, _PendingCall]] = []
+            for shard, positions in groups:
+                future = shard.backend.estimate(
+                    model, queries[positions], thresholds[positions], use_cache
+                )
+                call = shard.track(future, rows=len(positions))
+                with shard.lock:
+                    shard.requests += len(positions)
+                    shard.sub_batches += 1
+                parts.append((shard, positions, call))
         return ClusterEstimateFuture(self, len(thresholds), parts)
 
     def estimate(
@@ -346,9 +504,11 @@ class EstimationCluster:
         """
         if self._closed:
             raise RuntimeError("cluster is closed")
-        futures = [
-            (shard, shard.backend.update(model, inserts, deletes)) for shard in self._shards
-        ]
+        with self._lock:
+            futures = [
+                (shard, shard.backend.update(model, inserts, deletes))
+                for shard in self._shards
+            ]
         summaries = []
         for shard, future in futures:
             summary = dict(future.result())
@@ -356,6 +516,25 @@ class EstimationCluster:
             shard.updates += 1
             summaries.append(summary)
         return summaries
+
+    def reload_models(self) -> List[Dict[str, Any]]:
+        """Hot-reload every shard's disk-backed models (store hot swap).
+
+        Each shard drops its in-memory copies of disk-backed models and
+        invalidates their cached curves, so the next request loads the
+        current artifact from ``model_dir`` — the path ``/models/reload``
+        uses to swap a freshly trained artifact in without restarting (or
+        even pausing) the cluster.  Per-shard reload summaries come back in
+        shard order.
+        """
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+        with self._lock:
+            futures = [(shard, shard.backend.reload()) for shard in self._shards]
+        return [
+            {"shard": shard.shard_id, **dict(future.result())}
+            for shard, future in futures
+        ]
 
     # ------------------------------------------------------------------ #
     # Observability
@@ -367,8 +546,11 @@ class EstimationCluster:
         high-water), sub-batch latency percentiles and the worker's own
         service stats (cache hit rate, per-model counters).
         """
+        with self._lock:
+            shards = list(self._shards)
+            scale_events = list(self._scale_events)
         per_shard: List[Dict[str, Any]] = []
-        for shard in self._shards:
+        for shard in shards:
             worker = shard.backend.stats().result()
             per_shard.append(
                 {
@@ -389,6 +571,8 @@ class EstimationCluster:
         return {
             "backend": self.config.backend,
             "router": self.router.describe(),
+            "num_shards": len(shards),
+            "scale_events": scale_events,
             "queue_capacity": self.config.queue_capacity,
             "overload_policy": self.config.overload_policy,
             "total_requests": total_requests,

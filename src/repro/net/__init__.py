@@ -1,0 +1,65 @@
+"""The network serving tier: sockets, shared-memory shards, autoscaling.
+
+This package turns the sharded :class:`~repro.cluster.EstimationCluster`
+into a real service:
+
+* :mod:`repro.net.shm` / :mod:`repro.net.worker` / :mod:`repro.net.backend`
+  — the ``network`` shard backend: one worker process per shard, control
+  messages over a pipe, batch data through a shared-memory slot ring
+  (zero-copy NumPy views; importing this package registers the backend, so
+  ``ClusterConfig(backend="network")`` just works);
+* :mod:`repro.net.protocol` / :mod:`repro.net.server` /
+  :mod:`repro.net.client` — length-prefixed binary frames and JSON/HTTP
+  endpoints (``/estimate``, ``/update``, ``/models``, ``/models/reload``,
+  ``/stats``, ``/healthz``) behind ``repro serve``;
+* :mod:`repro.net.autoscaler` — queue-pressure elasticity with hysteresis
+  between ``min_shards`` and ``max_shards``;
+* :mod:`repro.net.saturate` — the ``repro saturate`` open-loop saturation
+  benchmark (offered-vs-achieved load curves, knee detection).
+"""
+
+from .autoscaler import Autoscaler, AutoscalerConfig
+from .backend import NetworkShardBackend, ShardCrashedError, ShardRequestError
+from .client import BinaryClient, HttpClient
+from .protocol import ProtocolError, RemoteError
+from .saturate import (
+    LoadPoint,
+    SaturationReport,
+    SaturationScenario,
+    report_as_dict,
+    run_saturation_benchmark,
+    transport_roundtrip_compare,
+)
+from .server import (
+    BinaryEstimationServer,
+    HttpEstimationServer,
+    NetServer,
+    ServeApp,
+    build_server,
+)
+from .shm import ShmRing, SlotPool
+
+__all__ = [
+    "NetworkShardBackend",
+    "ShardCrashedError",
+    "ShardRequestError",
+    "ShmRing",
+    "SlotPool",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ProtocolError",
+    "RemoteError",
+    "ServeApp",
+    "NetServer",
+    "HttpEstimationServer",
+    "BinaryEstimationServer",
+    "build_server",
+    "BinaryClient",
+    "HttpClient",
+    "SaturationScenario",
+    "SaturationReport",
+    "LoadPoint",
+    "report_as_dict",
+    "run_saturation_benchmark",
+    "transport_roundtrip_compare",
+]

@@ -1,0 +1,184 @@
+"""Queue-pressure autoscaling for the serving tier.
+
+The :class:`Autoscaler` watches an :class:`~repro.cluster.EstimationCluster`
+and calls its :meth:`~repro.cluster.EstimationCluster.scale_to` between
+``min_shards`` and ``max_shards``:
+
+* **scale up** when mean queue fill (queue depth over ``queue_capacity``,
+  averaged across shards) or recent p99 sub-batch latency stays above the
+  high watermarks for ``patience_up`` consecutive observations;
+* **scale down** (one shard at a time) when both signals stay below the low
+  watermarks for ``patience_down`` consecutive observations.
+
+Both directions are guarded by the same hysteresis machinery — patience
+counters reset whenever the pressure signal flips, and every action starts a
+``cooldown_seconds`` window during which no further action fires — so a
+bursty workload ratchets up quickly but the cluster never flaps around a
+threshold.  ``scale_to`` itself swaps the consistent-hash ring before
+draining retired shards, so rebalancing drops no responses.
+
+The scaler can run as a daemon thread (:meth:`start` / :meth:`stop`) polling
+every ``interval_seconds``, or be driven tick-by-tick via :meth:`observe`
+(what the tests and the saturation benchmark do — deterministic, no timing
+dependence).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Watermarks and hysteresis for queue-pressure scaling."""
+
+    min_shards: int = 1
+    max_shards: int = 4
+    #: scale up when mean queue fill (depth / capacity) exceeds this…
+    high_queue_fill: float = 0.5
+    #: …or recent p99 sub-batch latency (ms) exceeds this (0 disables)
+    high_p99_ms: float = 0.0
+    #: scale down when mean queue fill is at or below this
+    low_queue_fill: float = 0.05
+    #: consecutive pressured observations before growing
+    patience_up: int = 2
+    #: consecutive idle observations before shrinking (slower than up:
+    #: draining a shard is cheap to delay, queueing is not)
+    patience_down: int = 6
+    #: seconds after any action during which no further action fires
+    cooldown_seconds: float = 2.0
+    #: polling period of the background thread
+    interval_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_shards <= self.max_shards:
+            raise ValueError("need 1 <= min_shards <= max_shards")
+        if not 0.0 <= self.low_queue_fill < self.high_queue_fill:
+            raise ValueError("need 0 <= low_queue_fill < high_queue_fill")
+        if self.patience_up < 1 or self.patience_down < 1:
+            raise ValueError("patience counters must be at least 1")
+
+
+class Autoscaler:
+    """Hysteresis-guarded elastic scaling driven by queue-depth pressure."""
+
+    def __init__(
+        self,
+        cluster,
+        config: Optional[AutoscalerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or AutoscalerConfig()
+        self._clock = clock
+        self._up_streak = 0
+        self._down_streak = 0
+        self._last_action_at: Optional[float] = None
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self.decisions: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------ #
+    def _pressure(self) -> Dict[str, float]:
+        depths = self.cluster.queue_depths()
+        capacity = float(self.cluster.config.queue_capacity)
+        mean_fill = (sum(depths) / len(depths) / capacity) if depths else 0.0
+        p99_ms = 0.0
+        if self.config.high_p99_ms > 0.0:
+            percentiles = [
+                shard.latency_percentiles()["p99_ms"] for shard in self.cluster._shards
+            ]
+            p99_ms = max(percentiles) if percentiles else 0.0
+        return {"mean_queue_fill": mean_fill, "p99_ms": p99_ms}
+
+    def observe(self) -> Dict[str, Any]:
+        """One scaling tick: measure pressure, maybe act, record the decision.
+
+        Returns the decision record (also appended to :attr:`decisions`):
+        the observed pressure, both streaks and the action taken
+        (``"up"`` / ``"down"`` / ``None``).
+        """
+        config = self.config
+        with self._lock:
+            pressure = self._pressure()
+            num_shards = self.cluster.num_shards
+            hot = pressure["mean_queue_fill"] > config.high_queue_fill or (
+                config.high_p99_ms > 0.0 and pressure["p99_ms"] > config.high_p99_ms
+            )
+            cold = pressure["mean_queue_fill"] <= config.low_queue_fill and not hot
+            self._up_streak = self._up_streak + 1 if hot else 0
+            self._down_streak = self._down_streak + 1 if cold else 0
+
+            now = self._clock()
+            in_cooldown = (
+                self._last_action_at is not None
+                and now - self._last_action_at < config.cooldown_seconds
+            )
+            action: Optional[str] = None
+            if not in_cooldown:
+                if self._up_streak >= config.patience_up and num_shards < config.max_shards:
+                    action = "up"
+                elif (
+                    self._down_streak >= config.patience_down
+                    and num_shards > config.min_shards
+                ):
+                    action = "down"
+            if action is not None:
+                target = num_shards + (1 if action == "up" else -1)
+                self.cluster.scale_to(target)
+                self._last_action_at = now
+                self._up_streak = 0
+                self._down_streak = 0
+                num_shards = target
+            decision = {
+                **pressure,
+                "num_shards": num_shards,
+                "up_streak": self._up_streak,
+                "down_streak": self._down_streak,
+                "in_cooldown": in_cooldown,
+                "action": action,
+            }
+            self.decisions.append(decision)
+            return decision
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            actions = [d for d in self.decisions if d["action"] is not None]
+            return {
+                "min_shards": self.config.min_shards,
+                "max_shards": self.config.max_shards,
+                "num_shards": self.cluster.num_shards,
+                "observations": len(self.decisions),
+                "actions": actions[-32:],
+                "running": self._thread is not None,
+            }
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Poll in a daemon thread every ``interval_seconds`` until stopped."""
+        if self._thread is not None:
+            return
+        self._stop_event.clear()
+
+        def _loop() -> None:
+            while not self._stop_event.wait(self.config.interval_seconds):
+                try:
+                    self.observe()
+                except Exception:  # pragma: no cover - cluster shutting down
+                    return
+
+        self._thread = threading.Thread(target=_loop, name="repro-autoscaler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop_event.set()
+        thread.join(timeout=5.0)
+        self._thread = None

@@ -1,0 +1,164 @@
+"""Clients for the two serving transports.
+
+:class:`BinaryClient` speaks the length-prefixed frames of
+:mod:`repro.net.protocol` over one persistent TCP connection (raw float64
+batches, no JSON in the hot path) — estimation answers come back as NumPy
+arrays bit-identical to an in-process cluster call.  :class:`HttpClient`
+wraps the JSON endpoints with :mod:`urllib` — zero dependencies, handy for
+scripts and the CI smoke test.
+
+Server-side shed decisions survive the wire: a ``STATUS_ERROR`` frame (or
+HTTP 503 body) naming :class:`~repro.cluster.ClusterOverloadedError` is
+re-raised as that type, so a remote caller's backoff logic is identical to
+a local caller's.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..cluster import ClusterOverloadedError
+from . import protocol
+
+
+def _reraise_remote(error: protocol.RemoteError) -> BaseException:
+    if error.kind == "ClusterOverloadedError":
+        return ClusterOverloadedError(str(error))
+    if error.kind == "KeyError":
+        return KeyError(str(error))
+    return error
+
+
+class BinaryClient:
+    """One persistent binary-protocol connection (thread-safe, serial)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    def _roundtrip(self, request: bytes) -> Any:
+        with self._lock:
+            protocol.write_frame(self._sock, request)
+            payload = protocol.read_frame(self._sock)
+        if payload is None:
+            raise protocol.ProtocolError("server closed the connection")
+        try:
+            return protocol.parse_response(payload)
+        except protocol.RemoteError as error:
+            raise _reraise_remote(error) from None
+
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self,
+        model: str,
+        queries: np.ndarray,
+        thresholds: np.ndarray,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        return self._roundtrip(
+            protocol.pack_estimate_request(model, queries, thresholds, use_cache)
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return self._roundtrip(protocol.pack_control_request(protocol.OP_STATS))
+
+    def models(self) -> Dict[str, Any]:
+        return self._roundtrip(protocol.pack_control_request(protocol.OP_MODELS))
+
+    def reload_models(self) -> Dict[str, Any]:
+        return self._roundtrip(protocol.pack_control_request(protocol.OP_RELOAD))
+
+    def ping(self) -> Dict[str, Any]:
+        return self._roundtrip(protocol.pack_control_request(protocol.OP_PING))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "BinaryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class HttpClient:
+    """JSON endpoints over :mod:`urllib` (no third-party HTTP stack)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    def _request(self, path: str, body: Optional[Dict[str, Any]] = None) -> Any:
+        url = self.base_url + path
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=data, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8"))
+            except Exception:
+                raise error from None
+            kind = detail.get("error", "")
+            message = detail.get("message", "")
+            if kind == "ClusterOverloadedError":
+                raise ClusterOverloadedError(message) from None
+            if kind == "KeyError":
+                raise KeyError(message) from None
+            raise RuntimeError(f"HTTP {error.code} {kind}: {message}") from None
+
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("/stats")
+
+    def models(self) -> Dict[str, Any]:
+        return self._request("/models")
+
+    def reload_models(self) -> Dict[str, Any]:
+        return self._request("/models/reload", body={})
+
+    def estimate(
+        self,
+        model: str,
+        queries: np.ndarray,
+        thresholds: np.ndarray,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        body = {
+            "model": model,
+            "queries": np.asarray(queries, dtype=np.float64).tolist(),
+            "thresholds": np.asarray(thresholds, dtype=np.float64).tolist(),
+            "use_cache": use_cache,
+        }
+        response = self._request("/estimate", body=body)
+        return np.asarray(response["results"], dtype=np.float64)
+
+    def update(
+        self,
+        model: str,
+        inserts: Optional[np.ndarray] = None,
+        deletes: Optional[Sequence[int]] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"model": model}
+        if inserts is not None:
+            body["inserts"] = np.asarray(inserts, dtype=np.float64).tolist()
+        if deletes is not None:
+            body["deletes"] = list(deletes)
+        return self._request("/update", body=body)

@@ -1,0 +1,296 @@
+"""Open-loop saturation benchmarking of the network serving tier.
+
+``repro saturate`` stands up a real :class:`~repro.net.server.NetServer`
+(binary transport, loopback TCP) per scenario and sweeps *offered* load
+against it: batches are dispatched on a fixed wall-clock schedule —
+independent of how fast the server answers, which is what makes the loop
+*open* — by a pool of sender threads each holding its own persistent
+:class:`~repro.net.client.BinaryClient` connection.  For every offered rate
+the sweep records the *achieved* rate, batch-latency percentiles, shed
+counts and the shard count the autoscaler settled on; the **knee** of a
+scenario is the highest offered rate the tier still sustains (achieved ≥
+``KNEE_EFFICIENCY`` × offered).  A transport micro-benchmark comparing the
+shared-memory ``network`` backend against the pickling ``process`` backend
+on single-batch round trips rides along.  Results land in ``BENCH_net.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster import ClusterConfig, ClusterOverloadedError, EstimationCluster
+from .client import BinaryClient
+from .server import build_server
+
+#: a load point "sustains" its offered rate when achieved/offered is ≥ this
+KNEE_EFFICIENCY = 0.9
+
+
+@dataclass(frozen=True)
+class SaturationScenario:
+    """One serving configuration to sweep offered load against."""
+
+    name: str
+    backend: str = "network"
+    num_shards: int = 1
+    queue_capacity: int = 8
+    overload_policy: str = "block"
+    autoscale: bool = False
+    min_shards: int = 1
+    max_shards: int = 4
+
+
+@dataclass
+class LoadPoint:
+    """Measurements at one offered rate."""
+
+    offered_rps: float
+    achieved_rps: float
+    batches_sent: int
+    batches_completed: int
+    batches_shed: int
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    num_shards: int
+
+
+@dataclass
+class SaturationReport:
+    """One scenario's full sweep (JSON-able via :func:`dataclasses.asdict`)."""
+
+    scenario: str
+    backend: str
+    batch_size: int
+    connections: int
+    points: List[LoadPoint] = field(default_factory=list)
+    knee_rps: float = 0.0
+    peak_achieved_rps: float = 0.0
+    scale_events: List[Dict[str, Any]] = field(default_factory=list)
+    final_shards: int = 0
+
+    @property
+    def text(self) -> str:
+        lines = [
+            f"saturate: scenario={self.scenario} backend={self.backend} "
+            f"batch={self.batch_size} connections={self.connections}",
+            f"  knee: {self.knee_rps:,.0f} requests/s sustained "
+            f"(peak achieved {self.peak_achieved_rps:,.0f} r/s, "
+            f"{self.final_shards} shard(s) at end, "
+            f"{len(self.scale_events)} scale event(s))",
+        ]
+        for point in self.points:
+            lines.append(
+                f"  offered {point.offered_rps:>9,.0f} r/s -> achieved "
+                f"{point.achieved_rps:>9,.0f} r/s  p99 {point.p99_latency_ms:7.1f} ms  "
+                f"shards {point.num_shards}  shed {point.batches_shed}"
+            )
+        return "\n".join(lines)
+
+
+def _drive_load(
+    address: Tuple[str, int],
+    model: str,
+    queries: np.ndarray,
+    thresholds: np.ndarray,
+    offered_rps: float,
+    duration_seconds: float,
+    batch_size: int,
+    connections: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Send batches at a fixed schedule; measure what actually completes."""
+    total_batches = max(int(offered_rps * duration_seconds / batch_size), 1)
+    interval = batch_size / offered_rps
+    pool = len(thresholds)
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, pool, size=(total_batches, batch_size))
+
+    cursor_lock = threading.Lock()
+    cursor = [0]
+    latencies: List[float] = []
+    completed = [0]
+    shed = [0]
+    record_lock = threading.Lock()
+    start = time.perf_counter()
+
+    def _sender() -> None:
+        client = BinaryClient(address[0], address[1])
+        try:
+            while True:
+                with cursor_lock:
+                    index = cursor[0]
+                    if index >= total_batches:
+                        return
+                    cursor[0] += 1
+                # Open loop: wait for this batch's scheduled send time (a
+                # server falling behind just means the wait is already over).
+                delay = start + index * interval - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                rows = picks[index]
+                tick = time.perf_counter()
+                try:
+                    client.estimate(model, queries[rows], thresholds[rows])
+                except ClusterOverloadedError:
+                    with record_lock:
+                        shed[0] += 1
+                    continue
+                latency = 1000.0 * (time.perf_counter() - tick)
+                with record_lock:
+                    latencies.append(latency)
+                    completed[0] += 1
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=_sender, daemon=True) for _ in range(connections)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    array = np.asarray(latencies) if latencies else np.zeros(1)
+    return {
+        "offered_rps": offered_rps,
+        "achieved_rps": completed[0] * batch_size / elapsed if elapsed > 0 else 0.0,
+        "batches_sent": total_batches,
+        "batches_completed": completed[0],
+        "batches_shed": shed[0],
+        "mean_latency_ms": float(array.mean()),
+        "p50_latency_ms": float(np.percentile(array, 50)),
+        "p95_latency_ms": float(np.percentile(array, 95)),
+        "p99_latency_ms": float(np.percentile(array, 99)),
+    }
+
+
+def run_saturation_benchmark(
+    scenario: SaturationScenario,
+    model: str,
+    queries: np.ndarray,
+    thresholds: np.ndarray,
+    estimator=None,
+    model_dir=None,
+    offered_loads: Sequence[float] = (250.0, 1000.0, 4000.0, 16000.0),
+    duration_seconds: float = 2.0,
+    batch_size: int = 32,
+    connections: int = 4,
+    seed: int = 0,
+) -> SaturationReport:
+    """Sweep offered load against one freshly built serving tier.
+
+    The model comes either from ``model_dir`` (shards warm it at spawn) or
+    as an in-memory ``estimator`` replicated to every shard.  Each offered
+    rate gets ``duration_seconds`` of scheduled traffic after a small
+    warm-up burst (so the first point does not pay cache/model cold starts).
+    """
+    server = build_server(
+        model_dir,
+        host="127.0.0.1",
+        port=0,
+        binary_port=0,
+        num_shards=scenario.num_shards,
+        backend=scenario.backend,
+        queue_capacity=scenario.queue_capacity,
+        overload_policy=scenario.overload_policy,
+        autoscale=scenario.autoscale,
+        min_shards=scenario.min_shards,
+        max_shards=scenario.max_shards,
+    )
+    report = SaturationReport(
+        scenario=scenario.name,
+        backend=scenario.backend,
+        batch_size=batch_size,
+        connections=connections,
+    )
+    with server:
+        cluster = server.app.cluster
+        if estimator is not None:
+            cluster.add_model(model, estimator)
+        address = server.binary_address
+        assert address is not None
+        # Warm-up: fill curve caches / compiled kernels off the clock.
+        warm = BinaryClient(address[0], address[1])
+        try:
+            for _ in range(4):
+                warm.estimate(model, queries[:batch_size], thresholds[:batch_size])
+        finally:
+            warm.close()
+        for offered in offered_loads:
+            point = _drive_load(
+                address,
+                model,
+                queries,
+                thresholds,
+                offered_rps=float(offered),
+                duration_seconds=duration_seconds,
+                batch_size=batch_size,
+                connections=connections,
+                seed=seed,
+            )
+            point["num_shards"] = cluster.num_shards
+            report.points.append(LoadPoint(**point))
+        stats = cluster.stats()
+        report.scale_events = stats["scale_events"]
+        report.final_shards = stats["num_shards"]
+    sustained = [
+        p.offered_rps for p in report.points
+        if p.achieved_rps >= KNEE_EFFICIENCY * p.offered_rps
+    ]
+    report.peak_achieved_rps = max((p.achieved_rps for p in report.points), default=0.0)
+    # Past the knee the tier saturates: offered load keeps rising but the
+    # achieved rate flattens at (roughly) the peak.
+    report.knee_rps = max(sustained) if sustained else report.peak_achieved_rps
+    return report
+
+
+def transport_roundtrip_compare(
+    estimator,
+    model: str,
+    queries: np.ndarray,
+    thresholds: np.ndarray,
+    batch_sizes: Sequence[int] = (32, 128, 256),
+    repeats: int = 20,
+) -> Dict[str, Any]:
+    """Median single-batch round-trip latency: shm transport vs pickling.
+
+    Both clusters are one process shard hosting the same in-memory model;
+    the only difference is how a batch crosses the process boundary —
+    through the ``network`` backend's shared-memory slots or through the
+    ``process`` backend's pickled ``ProcessPoolExecutor`` task arguments.
+    """
+    results: Dict[str, Any] = {"batch_sizes": list(batch_sizes), "repeats": repeats}
+    for backend in ("network", "process"):
+        cluster = EstimationCluster(ClusterConfig(num_shards=1, backend=backend))
+        per_batch: Dict[str, float] = {}
+        try:
+            cluster.add_model(model, estimator)
+            cluster.estimate(model, queries[:8], thresholds[:8])  # warm up
+            for batch in batch_sizes:
+                rows = np.arange(batch) % len(thresholds)
+                samples = []
+                for _ in range(repeats):
+                    tick = time.perf_counter()
+                    cluster.estimate(model, queries[rows], thresholds[rows])
+                    samples.append(1000.0 * (time.perf_counter() - tick))
+                per_batch[str(batch)] = float(np.median(samples))
+        finally:
+            cluster.close()
+        results[backend] = {"median_roundtrip_ms": per_batch}
+    network = results["network"]["median_roundtrip_ms"]
+    process = results["process"]["median_roundtrip_ms"]
+    results["speedup_process_over_network"] = {
+        key: process[key] / network[key] if network[key] > 0 else float("inf")
+        for key in network
+    }
+    return results
+
+
+def report_as_dict(report: SaturationReport) -> Dict[str, Any]:
+    return asdict(report)

@@ -1,0 +1,371 @@
+"""The network serving tier: HTTP (JSON) and binary TCP front ends.
+
+:class:`ServeApp` is the transport-agnostic application object — it owns the
+:class:`~repro.cluster.EstimationCluster`, an optional
+:class:`~repro.net.autoscaler.Autoscaler` and a model *catalog* (a
+zero-capacity :class:`~repro.serving.EstimationService` used purely to list
+and describe on-disk artifacts from their sidecars, never to load weights).
+Two servers front it:
+
+* :class:`HttpEstimationServer` — ``ThreadingHTTPServer`` speaking JSON:
+  ``GET /healthz``, ``GET /stats``, ``GET /models``, ``POST /estimate``,
+  ``POST /update``, ``POST /models/reload``;
+* :class:`BinaryEstimationServer` — ``socketserver.ThreadingTCPServer``
+  speaking the length-prefixed frames of :mod:`repro.net.protocol`
+  (persistent connections, raw float64 batches — the low-latency path the
+  saturation benchmark drives).
+
+Both map failures to transport-appropriate errors: an overloaded cluster
+(shed admission) becomes HTTP 503 / a typed ``STATUS_ERROR`` frame, an
+unknown model 404, a malformed batch 400.  :class:`NetServer` bundles the
+two servers plus the autoscaler thread behind one ``start`` / ``stop`` pair
+— the object ``repro serve`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..cluster import ClusterConfig, ClusterOverloadedError, EstimationCluster
+from ..serving import EstimationService
+from .autoscaler import Autoscaler, AutoscalerConfig
+from . import protocol
+
+
+class ServeApp:
+    """Transport-agnostic serving application over one estimation cluster."""
+
+    def __init__(
+        self,
+        cluster: EstimationCluster,
+        autoscaler: Optional[Autoscaler] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.autoscaler = autoscaler
+        model_dir = cluster.config.model_dir
+        self.catalog = EstimationService(model_dir=model_dir, cache_capacity=0)
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self.request_counts: Dict[str, int] = {}
+
+    def _count(self, endpoint: str) -> None:
+        with self._lock:
+            self.request_counts[endpoint] = self.request_counts.get(endpoint, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Operations (shared by both transports)
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self,
+        model: str,
+        queries: np.ndarray,
+        thresholds: np.ndarray,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        self._count("estimate")
+        return self.cluster.estimate(model, queries, thresholds, use_cache=use_cache)
+
+    def update(self, model: str, inserts, deletes) -> Any:
+        self._count("update")
+        return self.cluster.update(model, inserts=inserts, deletes=deletes)
+
+    def reload_models(self) -> Dict[str, Any]:
+        self._count("reload")
+        return {"shards": self.cluster.reload_models()}
+
+    def models(self) -> Dict[str, Any]:
+        self._count("models")
+        return {
+            "models": self.catalog.available_models(),
+            "described": self.catalog.describe_models(),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        self._count("stats")
+        with self._lock:
+            counts = dict(self.request_counts)
+        payload = {
+            "uptime_seconds": time.time() - self.started_at,
+            "endpoints": counts,
+            "cluster": self.cluster.stats(),
+        }
+        if self.autoscaler is not None:
+            payload["autoscaler"] = self.autoscaler.describe()
+        return payload
+
+    def healthz(self) -> Dict[str, Any]:
+        return {"ok": True, "num_shards": self.cluster.num_shards}
+
+
+def _error_status(error: BaseException) -> int:
+    if isinstance(error, ClusterOverloadedError):
+        return 503
+    if isinstance(error, KeyError):
+        return 404
+    if isinstance(error, (ValueError, json.JSONDecodeError)):
+        return 400
+    return 500
+
+
+# ---------------------------------------------------------------------- #
+# HTTP front end
+# ---------------------------------------------------------------------- #
+class _HttpHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging is the caller's concern, not stderr's
+
+    def _send_json(self, status: int, value: Any) -> None:
+        body = json.dumps(value).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, error: BaseException) -> None:
+        self._send_json(
+            _error_status(error),
+            {"error": type(error).__name__, "message": str(error)},
+        )
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body; expected JSON")
+        return json.loads(raw.decode("utf-8"))
+
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.app.healthz())
+            elif self.path == "/stats":
+                self._send_json(200, self.app.stats())
+            elif self.path == "/models":
+                self._send_json(200, self.app.models())
+            else:
+                self._send_json(404, {"error": "NotFound", "message": self.path})
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as error:
+            self._send_error_json(error)
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/estimate":
+                body = self._read_json_body()
+                queries = np.asarray(body["queries"], dtype=np.float64)
+                thresholds = np.asarray(body["thresholds"], dtype=np.float64)
+                results = self.app.estimate(
+                    body["model"], queries, thresholds,
+                    use_cache=bool(body.get("use_cache", True)),
+                )
+                self._send_json(
+                    200, {"model": body["model"], "results": results.tolist()}
+                )
+            elif self.path == "/update":
+                body = self._read_json_body()
+                inserts = body.get("inserts")
+                if inserts is not None:
+                    inserts = np.asarray(inserts, dtype=np.float64)
+                summaries = self.app.update(body["model"], inserts, body.get("deletes"))
+                self._send_json(200, {"model": body["model"], "shards": summaries})
+            elif self.path == "/models/reload":
+                self._send_json(200, self.app.reload_models())
+            else:
+                self._send_json(404, {"error": "NotFound", "message": self.path})
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as error:
+            self._send_error_json(error)
+
+
+class HttpEstimationServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], app: ServeApp) -> None:
+        super().__init__(address, _HttpHandler)
+        self.app = app
+
+
+# ---------------------------------------------------------------------- #
+# Binary front end
+# ---------------------------------------------------------------------- #
+class _BinaryHandler(socketserver.BaseRequestHandler):
+    """One persistent connection: frames in, frames out, until EOF."""
+
+    def handle(self) -> None:
+        app: ServeApp = self.server.app  # type: ignore[attr-defined]
+        sock: socket.socket = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while True:
+            try:
+                payload = protocol.read_frame(sock)
+            except (protocol.ProtocolError, OSError):
+                return
+            if payload is None:
+                return
+            try:
+                op, fields = protocol.parse_request(payload)
+                if op == protocol.OP_ESTIMATE:
+                    results = app.estimate(
+                        fields["model"],
+                        fields["queries"],
+                        fields["thresholds"],
+                        use_cache=fields["use_cache"],
+                    )
+                    response = protocol.pack_results_response(results)
+                elif op == protocol.OP_STATS:
+                    response = protocol.pack_json_response(app.stats())
+                elif op == protocol.OP_MODELS:
+                    response = protocol.pack_json_response(app.models())
+                elif op == protocol.OP_RELOAD:
+                    response = protocol.pack_json_response(app.reload_models())
+                elif op == protocol.OP_PING:
+                    response = protocol.pack_json_response(app.healthz())
+                else:
+                    raise protocol.ProtocolError(f"unknown opcode {op}")
+            except Exception as error:
+                response = protocol.pack_error_response(error)
+            try:
+                protocol.write_frame(sock, response)
+            except OSError:
+                return
+
+
+class BinaryEstimationServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], app: ServeApp) -> None:
+        super().__init__(address, _BinaryHandler)
+        self.app = app
+
+
+# ---------------------------------------------------------------------- #
+# The bundle `repro serve` runs
+# ---------------------------------------------------------------------- #
+class NetServer:
+    """HTTP + binary servers + autoscaler behind one start/stop pair.
+
+    ``port`` serves HTTP; the binary protocol listens on ``port + 1`` unless
+    ``binary_port`` says otherwise (``0`` picks an ephemeral port, handy for
+    tests; ``None`` disables the binary listener).
+    """
+
+    def __init__(
+        self,
+        app: ServeApp,
+        host: str = "127.0.0.1",
+        port: int = 8585,
+        binary_port: Optional[int] = -1,
+    ) -> None:
+        self.app = app
+        self.http_server = HttpEstimationServer((host, port), app)
+        self.binary_server: Optional[BinaryEstimationServer] = None
+        if binary_port is not None:
+            resolved = self.http_address[1] + 1 if binary_port == -1 else binary_port
+            self.binary_server = BinaryEstimationServer((host, resolved), app)
+        self._threads: list = []
+        self._started = False
+
+    @property
+    def http_address(self) -> Tuple[str, int]:
+        return self.http_server.server_address[:2]
+
+    @property
+    def binary_address(self) -> Optional[Tuple[str, int]]:
+        if self.binary_server is None:
+            return None
+        return self.binary_server.server_address[:2]
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        servers = [self.http_server]
+        if self.binary_server is not None:
+            servers.append(self.binary_server)
+        for server in servers:
+            thread = threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        if self.app.autoscaler is not None:
+            self.app.autoscaler.start()
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        if self.app.autoscaler is not None:
+            self.app.autoscaler.stop()
+        self.http_server.shutdown()
+        self.http_server.server_close()
+        if self.binary_server is not None:
+            self.binary_server.shutdown()
+            self.binary_server.server_close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        self.app.cluster.close()
+
+    def __enter__(self) -> "NetServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def build_server(
+    model_dir,
+    host: str = "127.0.0.1",
+    port: int = 8585,
+    binary_port: Optional[int] = -1,
+    num_shards: int = 1,
+    backend: str = "network",
+    queue_capacity: int = 8,
+    overload_policy: str = "block",
+    autoscale: bool = False,
+    min_shards: int = 1,
+    max_shards: int = 4,
+    **cluster_overrides,
+) -> NetServer:
+    """Assemble cluster + autoscaler + servers (the ``repro serve`` recipe)."""
+    cluster = EstimationCluster(
+        ClusterConfig(
+            num_shards=num_shards,
+            model_dir=model_dir,
+            backend=backend,
+            queue_capacity=queue_capacity,
+            overload_policy=overload_policy,
+            **cluster_overrides,
+        )
+    )
+    autoscaler = None
+    if autoscale:
+        autoscaler = Autoscaler(
+            cluster,
+            AutoscalerConfig(min_shards=min_shards, max_shards=max_shards),
+        )
+    return NetServer(ServeApp(cluster, autoscaler), host=host, port=port, binary_port=binary_port)

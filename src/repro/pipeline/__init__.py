@@ -36,6 +36,7 @@ from .specs import (
     WorkloadSpec,
     canonical_json,
     canonical_value,
+    spec_from_canonical,
     spec_hash,
 )
 from .store import (
@@ -62,6 +63,7 @@ __all__ = [
     "spec_hash",
     "canonical_value",
     "canonical_json",
+    "spec_from_canonical",
     "ArtifactStore",
     "BuildInfo",
     "StoreStats",

@@ -494,6 +494,38 @@ class EvalSpec(Spec):
 
 
 # ---------------------------------------------------------------------- #
+# Canonical-form round trip
+# ---------------------------------------------------------------------- #
+def spec_from_canonical(payload: Any) -> Any:
+    """Rebuild a spec from its :func:`canonical_value` form.
+
+    The canonical dict marks every nested spec with ``__spec__: ClassName``
+    and a trained artifact's sidecar records its full ``TrainSpec`` this way
+    (``pipeline_spec`` in the metadata) — so a saved model is enough to
+    reconstruct the exact :class:`WorkloadSpec` it was fitted on and
+    regenerate (or cache-hit) its workload, which is what
+    ``repro serve-bench --from-store`` / ``cluster-bench --from-store`` do.
+    Lists become tuples (specs are frozen/hashable); non-spec values pass
+    through unchanged.
+    """
+    if isinstance(payload, Mapping):
+        if _SPEC_MARKER in payload:
+            cls = _SPEC_CLASSES.get(payload[_SPEC_MARKER])
+            if cls is None:
+                raise ValueError(f"unknown spec class {payload[_SPEC_MARKER]!r}")
+            kwargs = {
+                key: spec_from_canonical(value)
+                for key, value in payload.items()
+                if key != _SPEC_MARKER
+            }
+            return cls(**kwargs)
+        return {key: spec_from_canonical(value) for key, value in payload.items()}
+    if isinstance(payload, list):
+        return tuple(spec_from_canonical(item) for item in payload)
+    return payload
+
+
+# ---------------------------------------------------------------------- #
 # Experiments (runner input, not a stored artifact)
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -516,6 +548,13 @@ class ExperimentSpec(Spec):
         return tuple(self.evals) + tuple(self.extra_stages)
 
 
+#: classes `spec_from_canonical` can restore by their `__spec__` marker
+_SPEC_CLASSES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (DatasetSpec, WorkloadSpec, TrainSpec, EvalSpec, ExperimentSpec)
+}
+
+
 __all__ = [
     "Spec",
     "DatasetSpec",
@@ -526,5 +565,6 @@ __all__ = [
     "ExperimentSpec",
     "canonical_value",
     "canonical_json",
+    "spec_from_canonical",
     "spec_hash",
 ]

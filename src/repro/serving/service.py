@@ -205,6 +205,48 @@ class EstimationService:
     def _model_stats(self, name: str) -> ModelStats:
         return self._stats.setdefault(name, ModelStats())
 
+    def preload(self) -> List[str]:
+        """Load every disk-backed model now (shard warm-up at spawn).
+
+        Returns the names actually loaded from ``model_dir``; in-memory
+        models are already resident.  A serving process calls this once at
+        start so the first request never pays model-deserialization latency.
+        """
+        warmed: List[str] = []
+        for name in self.available_models():
+            if name not in self._estimators:
+                self.get(name)
+                warmed.append(name)
+        return warmed
+
+    def reload_models(self) -> Dict[str, Any]:
+        """Hot-swap disk-backed models: drop them so the next use reloads.
+
+        Models that came from ``model_dir`` are evicted from memory together
+        with their cached curves; models attached in-memory via
+        :meth:`add_model` (no on-disk source to re-read) are kept.  Newly
+        appeared artifacts in ``model_dir`` become servable automatically,
+        and the dropped ones are reloaded lazily — so an in-flight request
+        that already holds its estimator finishes against the old weights
+        while the next request sees the new artifact.
+        """
+        reloaded: List[str] = []
+        kept: List[str] = []
+        for name in sorted(self._estimators):
+            on_disk = (
+                self.model_dir is not None
+                and not name.startswith(".")
+                and (self.model_dir / name / SIDECAR_FILE).is_file()
+            )
+            if on_disk:
+                del self._estimators[name]
+                self._metadata.pop(name, None)
+                self.cache.invalidate(name)
+                reloaded.append(name)
+            else:
+                kept.append(name)
+        return {"reloaded": reloaded, "kept": kept, "available": self.available_models()}
+
     # ------------------------------------------------------------------ #
     # Estimation
     # ------------------------------------------------------------------ #

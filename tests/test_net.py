@@ -1,0 +1,637 @@
+"""Tests for the network serving tier (protocol, shm transport, servers,
+autoscaler) and the cluster lifecycle satellites that ride along with it."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro import create_estimator
+from repro.cli import main
+from repro.cluster import (
+    ClusterClosedError,
+    ClusterConfig,
+    ClusterOverloadedError,
+    EstimationCluster,
+)
+from repro.estimator import UpdateNotSupportedError
+from repro.net import (
+    Autoscaler,
+    AutoscalerConfig,
+    BinaryClient,
+    HttpClient,
+    ShardCrashedError,
+    ShmRing,
+    SlotPool,
+    build_server,
+    protocol,
+    run_saturation_benchmark,
+    report_as_dict,
+    SaturationScenario,
+)
+from repro.net.shm import batch_nbytes
+
+
+@pytest.fixture(scope="module")
+def kde_model_dir(tiny_cosine_split, tmp_path_factory):
+    """One fitted KDE saved under a model directory, for disk-backed shards."""
+    directory = tmp_path_factory.mktemp("net-models")
+    kde = create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+    kde.save(directory / "kde", metadata={"setting": "face-cos", "scale": "tiny", "seed": 0})
+    return directory
+
+
+@pytest.fixture(scope="module")
+def fitted_kde(tiny_cosine_split):
+    return create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+
+
+@pytest.fixture(scope="module")
+def net_server(kde_model_dir):
+    """One running HTTP + binary server over two network-backend shards."""
+    server = build_server(
+        kde_model_dir, port=0, binary_port=0, num_shards=2, backend="network"
+    )
+    server.start()
+    yield server
+    server.stop()
+
+
+# ---------------------------------------------------------------------- #
+# Wire protocol
+# ---------------------------------------------------------------------- #
+class TestProtocol:
+    def test_estimate_request_roundtrip_is_bit_identical(self, rng):
+        queries = rng.standard_normal((7, 5))
+        thresholds = rng.standard_normal(7)
+        payload = protocol.pack_estimate_request("kde", queries, thresholds, use_cache=False)
+        op, fields = protocol.parse_request(payload)
+        assert op == protocol.OP_ESTIMATE
+        assert fields["model"] == "kde"
+        assert fields["use_cache"] is False
+        np.testing.assert_array_equal(fields["queries"], queries)
+        np.testing.assert_array_equal(fields["thresholds"], thresholds)
+
+    def test_estimate_request_rejects_misaligned_batch(self, rng):
+        with pytest.raises(ValueError):
+            protocol.pack_estimate_request(
+                "kde", rng.standard_normal((4, 3)), rng.standard_normal(5)
+            )
+
+    def test_control_requests(self):
+        for op in (protocol.OP_STATS, protocol.OP_MODELS, protocol.OP_RELOAD, protocol.OP_PING):
+            parsed_op, fields = protocol.parse_request(protocol.pack_control_request(op))
+            assert parsed_op == op and fields is None
+        with pytest.raises(ValueError):
+            protocol.pack_control_request(protocol.OP_ESTIMATE)
+
+    def test_results_response_roundtrip(self, rng):
+        results = rng.standard_normal(9)
+        decoded = protocol.parse_response(protocol.pack_results_response(results))
+        np.testing.assert_array_equal(decoded, results)
+
+    def test_json_response_roundtrip(self):
+        value = {"ok": True, "models": ["kde"], "count": 3}
+        assert protocol.parse_response(protocol.pack_json_response(value)) == value
+
+    def test_error_response_carries_the_exception_kind(self):
+        payload = protocol.pack_error_response(ClusterOverloadedError("queue full"))
+        with pytest.raises(protocol.RemoteError) as info:
+            protocol.parse_response(payload)
+        assert info.value.kind == "ClusterOverloadedError"
+        assert "queue full" in str(info.value)
+
+    def test_framing_over_a_real_socket(self):
+        left, right = socket.socketpair()
+        try:
+            protocol.write_frame(left, b"hello")
+            protocol.write_frame(left, b"")
+            assert protocol.read_frame(right) == b"hello"
+            assert protocol.read_frame(right) == b""
+            left.close()
+            assert protocol.read_frame(right) is None  # clean EOF
+        finally:
+            right.close()
+
+    def test_bad_magic_is_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"XX" + struct.pack(">I", 0))
+            with pytest.raises(protocol.ProtocolError, match="magic"):
+                protocol.read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory transport
+# ---------------------------------------------------------------------- #
+class TestShmRing:
+    def test_batch_roundtrip_through_an_attached_mapping(self, rng):
+        queries = rng.standard_normal((6, 4))
+        thresholds = rng.standard_normal(6)
+        ring = ShmRing.create(num_slots=2, slot_bytes=4096)
+        try:
+            ring.write_batch(1, queries, thresholds)
+            other = ShmRing.attach(ring.name, 2, 4096)  # the worker's view
+            try:
+                got_q, got_t = other.read_batch(1, 6, 4)
+                np.testing.assert_array_equal(got_q, queries)
+                np.testing.assert_array_equal(got_t, thresholds)
+                results = rng.standard_normal(6)
+                other.write_results(1, results)
+                del got_q, got_t  # views pin the mapping; drop before close
+            finally:
+                other.close()
+            np.testing.assert_array_equal(ring.read_results(1, 6), results)
+        finally:
+            ring.close()
+
+    def test_oversized_batch_is_refused(self, rng):
+        ring = ShmRing.create(num_slots=1, slot_bytes=64)
+        try:
+            assert not ring.fits(4, 8)
+            with pytest.raises(ValueError, match="exceeds slot size"):
+                ring.write_batch(0, rng.standard_normal((4, 8)), rng.standard_normal(4))
+        finally:
+            ring.close()
+
+    def test_batch_nbytes_matches_the_layout(self):
+        assert batch_nbytes(3, 5) == 3 * 5 * 8 + 3 * 8
+
+    def test_slot_pool_blocks_until_release_and_times_out(self):
+        pool = SlotPool(1)
+        slot = pool.acquire()
+        with pytest.raises(TimeoutError):
+            pool.acquire(timeout=0.05)
+        pool.release(slot)
+        assert pool.acquire(timeout=0.05) == slot
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.acquire(timeout=0.05)
+
+
+# ---------------------------------------------------------------------- #
+# The network shard backend inside a cluster
+# ---------------------------------------------------------------------- #
+class TestNetworkBackend:
+    def test_shm_transport_parity_and_fallback(self, tiny_cosine_split, fitted_kde):
+        """Small batches ride the shm slots, oversized ones fall back to the
+        control pipe — both bit-identical to the in-process estimator."""
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        small_slot = batch_nbytes(8, queries.shape[1])  # fits ≤ 8 rows
+        config = ClusterConfig(num_shards=1, backend="network", shm_slot_bytes=small_slot)
+        with EstimationCluster(config) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            small = cluster.estimate("kde", queries[:8], thresholds[:8], use_cache=False)
+            large = cluster.estimate("kde", queries, thresholds, use_cache=False)
+            transport = cluster.stats()["per_shard"][0]["worker"]["transport"]
+        direct = fitted_kde.estimate(queries, thresholds)
+        np.testing.assert_array_equal(small, direct[:8])
+        np.testing.assert_array_equal(large, direct)
+        assert transport["shm_batches"] >= 1
+        assert transport["fallback_batches"] >= 1
+        assert transport["shm_bytes"] == batch_nbytes(8, queries.shape[1])
+
+    def test_typed_errors_cross_the_process_boundary(self, fitted_kde):
+        with EstimationCluster(ClusterConfig(num_shards=1, backend="network")) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            with pytest.raises(KeyError):
+                cluster.estimate("nope", np.zeros((1, 10)), np.zeros(1))
+            with pytest.raises(UpdateNotSupportedError):
+                cluster.update("kde", inserts=np.zeros((1, 10)))
+            # The shard survives its own error replies.
+            assert cluster.estimate("kde", np.zeros((2, 10)), np.zeros(2)).shape == (2,)
+
+    def test_dead_worker_fails_calls_instead_of_hanging(self, fitted_kde):
+        cluster = EstimationCluster(ClusterConfig(num_shards=1, backend="network"))
+        try:
+            cluster.add_model("kde", fitted_kde)
+            cluster._shards[0].backend._process.kill()
+            with pytest.raises(ShardCrashedError):
+                cluster.estimate("kde", np.zeros((2, 10)), np.zeros(2))
+            assert cluster.queue_depths() == [0], "failed call must free its slot"
+        finally:
+            cluster.close(drain=False)
+
+
+# ---------------------------------------------------------------------- #
+# Socket servers: the parity gate and the endpoint surface
+# ---------------------------------------------------------------------- #
+class TestSocketServers:
+    def test_estimates_over_real_sockets_are_bit_identical(
+        self, net_server, tiny_cosine_split, fitted_kde
+    ):
+        """Acceptance: POST /estimate (and a binary frame) over a real TCP
+        socket returns exactly the bytes an in-process call produces."""
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        in_process = net_server.app.cluster.estimate(
+            "kde", queries, thresholds, use_cache=False
+        )
+        host, port = net_server.binary_address
+        with BinaryClient(host, port) as client:
+            over_socket = client.estimate("kde", queries, thresholds, use_cache=False)
+        http = HttpClient(*net_server.http_address)
+        over_http = http.estimate("kde", queries, thresholds, use_cache=False)
+        direct = fitted_kde.estimate(queries, thresholds)
+        np.testing.assert_array_equal(over_socket, in_process)
+        np.testing.assert_array_equal(over_socket, direct)
+        np.testing.assert_array_equal(over_http, direct)
+
+    def test_binary_control_operations(self, net_server):
+        host, port = net_server.binary_address
+        with BinaryClient(host, port) as client:
+            assert client.ping()["ok"] is True
+            stats = client.stats()
+            assert stats["cluster"]["backend"] == "network"
+            assert stats["cluster"]["num_shards"] == 2
+            assert "kde" in client.models()["models"]
+            assert len(client.reload_models()["shards"]) == 2
+
+    def test_http_endpoints(self, net_server):
+        http = HttpClient(*net_server.http_address)
+        assert http.healthz() == {"ok": True, "num_shards": 2}
+        stats = http.stats()
+        assert stats["uptime_seconds"] >= 0
+        assert "estimate" in stats["endpoints"] or stats["endpoints"] == stats["endpoints"]
+        assert stats["cluster"]["overload_policy"] == "block"
+        assert "kde" in http.models()["models"]
+        assert "KDEEstimator" in http.models()["described"]["kde"]["class"]
+        assert len(http.reload_models()["shards"]) == 2
+
+    def test_unknown_model_maps_to_key_error_on_both_transports(self, net_server):
+        host, port = net_server.binary_address
+        with BinaryClient(host, port) as client:
+            with pytest.raises(KeyError):
+                client.estimate("nope", np.zeros((1, 10)), np.zeros(1))
+        http = HttpClient(*net_server.http_address)
+        with pytest.raises(KeyError):
+            http.estimate("nope", np.zeros((1, 10)), np.zeros(1))
+
+    def test_malformed_requests_map_to_4xx(self, net_server):
+        host, port = net_server.http_address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/estimate",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(f"http://{host}:{port}/no-such-path", timeout=10)
+        assert info.value.code == 404
+
+    def test_shed_decision_survives_the_wire(self, fitted_kde, tiny_cosine_split):
+        queries = tiny_cosine_split.test.queries[:4]
+        thresholds = tiny_cosine_split.test.thresholds[:4]
+        server = build_server(
+            None, port=0, binary_port=0, num_shards=1, backend="inline",
+            queue_capacity=1, overload_policy="shed",
+        )
+        with server:
+            cluster = server.app.cluster
+            cluster.add_model("kde", fitted_kde)
+            pending = cluster.submit_estimate("kde", queries, thresholds)
+            http = HttpClient(*server.http_address)
+            with pytest.raises(ClusterOverloadedError):
+                http.estimate("kde", queries, thresholds)
+            host, port = server.binary_address
+            with BinaryClient(host, port) as client:
+                with pytest.raises(ClusterOverloadedError):
+                    client.estimate("kde", queries, thresholds)
+            assert pending.result().shape == thresholds.shape
+
+    def test_hot_reload_swaps_the_artifact_without_restart(
+        self, tiny_cosine_split, tmp_path
+    ):
+        queries = tiny_cosine_split.test.queries[:8]
+        thresholds = tiny_cosine_split.test.thresholds[:8]
+        v1 = create_estimator("kde", num_samples=64, seed=0).fit(tiny_cosine_split)
+        v2 = create_estimator("kde", num_samples=32, seed=7).fit(tiny_cosine_split)
+        expected_v1 = v1.estimate(queries, thresholds)
+        expected_v2 = v2.estimate(queries, thresholds)
+        assert not np.array_equal(expected_v1, expected_v2), "fixtures must differ"
+
+        v1.save(tmp_path / "kde")
+        server = build_server(tmp_path, port=0, binary_port=None, num_shards=2, backend="inline")
+        with server:
+            http = HttpClient(*server.http_address)
+            np.testing.assert_array_equal(
+                http.estimate("kde", queries, thresholds, use_cache=False), expected_v1
+            )
+            v2.save(tmp_path / "kde")  # new artifact lands on disk...
+            np.testing.assert_array_equal(  # ...but shards still serve v1
+                http.estimate("kde", queries, thresholds, use_cache=False), expected_v1
+            )
+            reloaded = http.reload_models()
+            assert len(reloaded["shards"]) == 2
+            np.testing.assert_array_equal(
+                http.estimate("kde", queries, thresholds, use_cache=False), expected_v2
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Autoscaler
+# ---------------------------------------------------------------------- #
+class _StubCluster:
+    """Just enough cluster surface for deterministic autoscaler unit tests."""
+
+    def __init__(self, queue_capacity: int = 4) -> None:
+        self.config = ClusterConfig(num_shards=1, queue_capacity=queue_capacity)
+        self.depths = [0]
+        self.num_shards = 1
+        self.scale_calls = []
+
+    def queue_depths(self):
+        return list(self.depths)
+
+    def scale_to(self, num_shards: int) -> int:
+        self.scale_calls.append(num_shards)
+        self.num_shards = num_shards
+        self.depths = (self.depths + [0] * num_shards)[:num_shards]
+        return num_shards
+
+
+def _ticking_clock():
+    state = [0.0]
+
+    def clock() -> float:
+        state[0] += 1.0
+        return state[0]
+
+    return clock
+
+
+class TestAutoscaler:
+    def test_scales_up_only_after_patience(self):
+        cluster = _StubCluster(queue_capacity=4)
+        scaler = Autoscaler(
+            cluster,
+            AutoscalerConfig(min_shards=1, max_shards=3, patience_up=2, cooldown_seconds=0.0),
+            clock=_ticking_clock(),
+        )
+        cluster.depths = [4]  # fill 1.0 > high watermark
+        first = scaler.observe()
+        assert first["action"] is None and first["up_streak"] == 1
+        second = scaler.observe()
+        assert second["action"] == "up"
+        assert cluster.scale_calls == [2]
+
+    def test_cooldown_spaces_consecutive_actions(self):
+        cluster = _StubCluster(queue_capacity=4)
+        scaler = Autoscaler(
+            cluster,
+            AutoscalerConfig(
+                min_shards=1, max_shards=4, patience_up=1, cooldown_seconds=5.0
+            ),
+            clock=_ticking_clock(),  # one second per observation
+        )
+        actions = []
+        for _ in range(7):
+            cluster.depths = [4] * cluster.num_shards  # keep every queue full
+            actions.append(scaler.observe()["action"])
+        # First tick acts; the next four (seconds 2..5) sit in cooldown.
+        assert actions[0] == "up"
+        assert actions.count("up") == 2
+        assert cluster.scale_calls == [2, 3]
+
+    def test_scales_down_slowly_and_respects_min_shards(self):
+        cluster = _StubCluster(queue_capacity=4)
+        cluster.num_shards = 2
+        cluster.depths = [0, 0]
+        scaler = Autoscaler(
+            cluster,
+            AutoscalerConfig(
+                min_shards=1, max_shards=4, patience_down=3, cooldown_seconds=0.0
+            ),
+            clock=_ticking_clock(),
+        )
+        actions = [scaler.observe()["action"] for _ in range(6)]
+        assert actions[:3] == [None, None, "down"]
+        assert cluster.num_shards == 1
+        assert "down" not in actions[3:], "never shrinks below min_shards"
+
+    def test_pressure_flip_resets_the_streak(self):
+        cluster = _StubCluster(queue_capacity=4)
+        scaler = Autoscaler(
+            cluster,
+            AutoscalerConfig(min_shards=1, max_shards=2, patience_up=2, cooldown_seconds=0.0),
+            clock=_ticking_clock(),
+        )
+        cluster.depths = [4]
+        scaler.observe()
+        cluster.depths = [0]  # pressure vanishes before patience is met
+        idle = scaler.observe()
+        assert idle["up_streak"] == 0 and idle["action"] is None
+        assert cluster.scale_calls == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_shards=3, max_shards=2)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(low_queue_fill=0.6, high_queue_fill=0.5)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(patience_up=0)
+
+    def test_scaling_a_live_cluster_drops_no_responses(
+        self, tiny_cosine_split, fitted_kde
+    ):
+        """Acceptance: scale up under pressure, drain when idle, and every
+        submitted batch still gathers exactly its own correct results."""
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        direct = fitted_kde.estimate(queries, thresholds)
+        config = ClusterConfig(num_shards=1, queue_capacity=4)
+        with EstimationCluster(config) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            scaler = Autoscaler(
+                cluster,
+                AutoscalerConfig(
+                    min_shards=1, max_shards=2, patience_up=2, patience_down=3,
+                    cooldown_seconds=0.0,
+                ),
+                clock=_ticking_clock(),
+            )
+            futures = [
+                cluster.submit_estimate("kde", queries, thresholds, use_cache=False)
+                for _ in range(3)
+            ]
+            scaler.observe()
+            burst = scaler.observe()
+            assert burst["action"] == "up" and cluster.num_shards == 2
+            for future in futures:  # submitted before the scale-up
+                np.testing.assert_array_equal(future.result(), direct)
+            # Work submitted after the rebalance lands on the wider ring.
+            np.testing.assert_array_equal(
+                cluster.estimate("kde", queries, thresholds, use_cache=False), direct
+            )
+            idle = [scaler.observe()["action"] for _ in range(3)]
+            assert idle[-1] == "down" and cluster.num_shards == 1
+            np.testing.assert_array_equal(
+                cluster.estimate("kde", queries, thresholds, use_cache=False), direct
+            )
+            assert len(cluster.stats()["scale_events"]) == 2
+
+
+# ---------------------------------------------------------------------- #
+# Cluster lifecycle satellites: graceful shutdown + admission concurrency
+# ---------------------------------------------------------------------- #
+class TestClusterLifecycle:
+    def test_close_drains_pending_calls(self, tiny_cosine_split, fitted_kde):
+        """Regression: close() must settle in-flight futures, not strand them."""
+        queries = tiny_cosine_split.test.queries[:6]
+        thresholds = tiny_cosine_split.test.thresholds[:6]
+        cluster = EstimationCluster(ClusterConfig(num_shards=2))
+        cluster.add_model("kde", fitted_kde)
+        futures = [
+            cluster.submit_estimate("kde", queries, thresholds, use_cache=False)
+            for _ in range(3)
+        ]
+        cluster.close()
+        direct = fitted_kde.estimate(queries, thresholds)
+        for future in futures:
+            np.testing.assert_array_equal(future.result(), direct)
+        cluster.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.estimate("kde", queries, thresholds)
+
+    def test_close_without_drain_cancels_pending_calls(
+        self, tiny_cosine_split, fitted_kde
+    ):
+        queries = tiny_cosine_split.test.queries[:6]
+        thresholds = tiny_cosine_split.test.thresholds[:6]
+        cluster = EstimationCluster(ClusterConfig(num_shards=2))
+        cluster.add_model("kde", fitted_kde)
+        futures = [cluster.submit_estimate("kde", queries, thresholds) for _ in range(2)]
+        cluster.close(drain=False)
+        for future in futures:
+            with pytest.raises(ClusterClosedError):
+                future.result()
+
+    def test_concurrent_shed_rejections_are_typed_and_accounted(
+        self, tiny_cosine_split, fitted_kde
+    ):
+        queries = tiny_cosine_split.test.queries[:4]
+        thresholds = tiny_cosine_split.test.thresholds[:4]
+        config = ClusterConfig(num_shards=1, queue_capacity=1, overload_policy="shed")
+        with EstimationCluster(config) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            holder = cluster.submit_estimate("kde", queries, thresholds)
+            errors = []
+            barrier = threading.Barrier(4)
+
+            def _push() -> None:
+                barrier.wait()
+                try:
+                    cluster.submit_estimate("kde", queries, thresholds)
+                    errors.append(None)
+                except Exception as error:  # noqa: BLE001 - recording the type
+                    errors.append(error)
+
+            threads = [threading.Thread(target=_push) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert all(isinstance(e, ClusterOverloadedError) for e in errors)
+            assert cluster.stats()["total_shed_requests"] == 4 * len(thresholds)
+            assert holder.result().shape == thresholds.shape
+            # The cluster recovers once the queue drains.
+            assert cluster.estimate("kde", queries, thresholds).shape == thresholds.shape
+
+    def test_block_policy_backpressure_under_concurrent_clients(
+        self, tiny_cosine_split, fitted_kde
+    ):
+        queries = tiny_cosine_split.test.queries[:4]
+        thresholds = tiny_cosine_split.test.thresholds[:4]
+        direct = fitted_kde.estimate(queries, thresholds)
+        config = ClusterConfig(num_shards=1, queue_capacity=2, overload_policy="block")
+        with EstimationCluster(config) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            failures = []
+
+            def _client() -> None:
+                try:
+                    for _ in range(3):
+                        result = cluster.estimate(
+                            "kde", queries, thresholds, use_cache=False
+                        )
+                        np.testing.assert_array_equal(result, direct)
+                except Exception as error:  # noqa: BLE001
+                    failures.append(error)
+
+            threads = [threading.Thread(target=_client) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert failures == []
+            stats = cluster.stats()
+            assert stats["total_shed_requests"] == 0
+            assert stats["total_requests"] == 6 * 3 * len(thresholds)
+            assert stats["per_shard"][0]["max_queue_depth"] <= 2
+
+    def test_percentile_stats_with_zero_settled_calls(self, fitted_kde):
+        with EstimationCluster(ClusterConfig(num_shards=2)) as cluster:
+            cluster.add_model("kde", fitted_kde)
+            for entry in cluster.stats()["per_shard"]:
+                assert entry["latency"] == {
+                    "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0
+                }
+
+
+# ---------------------------------------------------------------------- #
+# Saturation benchmark + serve CLI
+# ---------------------------------------------------------------------- #
+class TestSaturation:
+    def test_micro_sweep_produces_a_jsonable_report(
+        self, tiny_cosine_split, fitted_kde
+    ):
+        scenario = SaturationScenario(name="micro", backend="inline", num_shards=1)
+        report = run_saturation_benchmark(
+            scenario,
+            "kde",
+            tiny_cosine_split.test.queries,
+            tiny_cosine_split.test.thresholds,
+            estimator=fitted_kde,
+            offered_loads=(200.0,),
+            duration_seconds=0.3,
+            batch_size=8,
+            connections=2,
+            seed=0,
+        )
+        assert report.points[0].batches_completed > 0
+        assert report.knee_rps > 0
+        assert report.final_shards == 1
+        payload = json.dumps(report_as_dict(report))
+        assert "achieved_rps" in payload
+        assert "knee" in report.text
+
+
+class TestServeCLI:
+    def test_serve_command_boots_and_exits(self, kde_model_dir, capsys):
+        exit_code = main(
+            [
+                "serve",
+                str(kde_model_dir),
+                "--port", "0",
+                "--binary-port", "-2",
+                "--backend", "inline",
+                "--max-seconds", "0.2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "http://" in out and "kde" in out
