@@ -9,8 +9,12 @@ models of an artifact store, then — using nothing but :mod:`urllib` —
 3. reads ``GET /stats`` and ``GET /models``,
 4. hot-reloads via ``POST /models/reload``,
 5. hammers ``/estimate`` from several threads until the autoscaler grows the
-   cluster past one shard (one scale-up event), and
-6. sends SIGINT and asserts the server exits cleanly with status 0.
+   cluster past one shard (one scale-up event),
+6. scrapes ``GET /metrics`` mid-burst and asserts the Prometheus text carries
+   per-shard latency histograms plus the recorded autoscaler decision,
+7. sends SIGINT, asserts the server exits cleanly with status 0, and checks
+   the ``--trace-out`` JSONL holds spans from both the frontend (``main``)
+   and shard-worker processes sharing a trace ID.
 
 Exits non-zero (with the server's output) on any failed step, so a CI job
 can call it directly::
@@ -22,10 +26,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import signal
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 import urllib.request
@@ -40,6 +46,12 @@ def _call(base: str, path: str, body=None, timeout: float = 30.0):
         return json.loads(response.read().decode("utf-8"))
 
 
+def _scrape_metrics(base: str, timeout: float = 30.0) -> str:
+    request = urllib.request.Request(base + "/metrics")
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
 def _fail(proc: subprocess.Popen, message: str) -> "NoReturn":  # noqa: F821
     proc.kill()
     output = proc.stdout.read() if proc.stdout else ""
@@ -50,8 +62,19 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--store", required=True, help="artifact store directory")
     parser.add_argument("--timeout", type=float, default=180.0)
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="trace JSONL artifact path (default: a temp file, removed on success)",
+    )
     args = parser.parse_args()
     deadline = time.monotonic() + args.timeout
+
+    trace_out = args.trace_out
+    cleanup_trace = trace_out is None
+    if trace_out is None:
+        handle, trace_out = tempfile.mkstemp(prefix="net-smoke-trace-", suffix=".jsonl")
+        os.close(handle)
 
     proc = subprocess.Popen(
         [
@@ -60,6 +83,7 @@ def main() -> None:
             "--port", "0", "--binary-port", "-2",
             "--backend", "network", "--shards", "1", "--queue-capacity", "2",
             "--autoscale", "--min-shards", "1", "--max-shards", "2",
+            "--trace-out", trace_out, "--trace-sample", "1.0",
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -153,12 +177,28 @@ def main() -> None:
         if not scaled:
             _fail(proc, "autoscaler never scaled past one shard under load")
         print("autoscale-up event observed")
+
+        # 6. /metrics carries the burst: per-shard histograms + the decision
+        metrics = _scrape_metrics(base)
+        if "# TYPE repro_cluster_sub_batch_latency_seconds histogram" not in metrics:
+            _fail(proc, "per-shard latency histogram missing from /metrics")
+        if 'repro_cluster_sub_batch_latency_seconds_count{shard="0"}' not in metrics:
+            _fail(proc, "shard-labeled histogram series missing from /metrics")
+        if "repro_cache_hit_rate" not in metrics:
+            _fail(proc, "cache hit-rate gauge missing from /metrics")
+        up_lines = [
+            line for line in metrics.splitlines()
+            if line.startswith('repro_autoscaler_decisions_total{outcome="up"}')
+        ]
+        if not up_lines or float(up_lines[0].rsplit(" ", 1)[1]) < 1:
+            _fail(proc, f"scale-up decision not recorded in /metrics: {up_lines}")
+        print("/metrics scrape OK (per-shard histograms + autoscale decision)")
     except SystemExit:
         raise
     except Exception as error:  # noqa: BLE001 - report, then dump server output
         _fail(proc, f"{type(error).__name__}: {error}")
 
-    # 6. clean teardown
+    # 7. clean teardown
     proc.send_signal(signal.SIGINT)
     try:
         proc.wait(timeout=60.0)
@@ -166,6 +206,26 @@ def main() -> None:
         _fail(proc, "server did not exit after SIGINT")
     if proc.returncode != 0:
         _fail(proc, f"server exited with status {proc.returncode}")
+
+    # …and the trace artifact holds cross-process spans of shared traces.
+    spans = []
+    with open(trace_out, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                try:
+                    spans.append(json.loads(line))
+                except json.JSONDecodeError:
+                    pass
+    roles_by_trace = {}
+    for span in spans:
+        roles_by_trace.setdefault(span.get("trace_id"), set()).add(span.get("role"))
+    crossed = [tid for tid, roles in roles_by_trace.items() if {"main", "shard"} <= roles]
+    if not crossed:
+        _fail(proc, f"no trace crossed frontend->worker in {trace_out} ({len(spans)} spans)")
+    print(f"trace artifact OK ({len(spans)} spans, {len(crossed)} cross-process traces)")
+    if cleanup_trace:
+        os.unlink(trace_out)
     print("clean shutdown; net smoke OK")
 
 

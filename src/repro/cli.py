@@ -570,6 +570,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit after this many seconds (default: run until interrupted)",
     )
+    serve_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record request spans (frontend + shard workers) to this JSONL file",
+    )
+    serve_parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="fraction of traces to record, deterministic per trace ID (default: 1.0)",
+    )
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help="live terminal dashboard for a running `repro serve` instance",
+    )
+    top_parser.add_argument(
+        "url",
+        nargs="?",
+        default="http://127.0.0.1:8585",
+        help="base URL of the serve HTTP endpoint (default: http://127.0.0.1:8585)",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between refreshes"
+    )
+    top_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after this many frames (default: run until interrupted)",
+    )
 
     saturate_parser = subparsers.add_parser(
         "saturate",
@@ -612,6 +644,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-transport-compare",
         action="store_true",
         help="skip the shm-vs-pickle transport micro-benchmark",
+    )
+    saturate_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record request spans (senders, frontend, shard workers) to this JSONL file",
+    )
+    saturate_parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.01,
+        help="fraction of traces to record (default: 0.01 — saturation is high-volume)",
     )
     return parser
 
@@ -1292,6 +1336,12 @@ def _cmd_serve(args) -> int:
         binary_port = None  # disabled
     else:
         binary_port = args.binary_port
+    if args.trace_out:
+        # Before build_server: shard workers inherit the sink config through
+        # their spawn arguments, so this must be installed first.
+        from .obs import configure_tracing
+
+        configure_tracing(args.trace_out, args.trace_sample, role="main")
     server = build_server(
         model_dir,
         host=args.host,
@@ -1315,8 +1365,10 @@ def _cmd_serve(args) -> int:
         print(f"  backend / shards  : {args.backend} x {args.shards}"
               + (f" (autoscale {args.min_shards}-{args.max_shards})" if args.autoscale else ""))
         print(f"  models            : {', '.join(models) if models else '(none found)'}")
+        if args.trace_out:
+            print(f"  tracing           : {args.trace_out} (sample {args.trace_sample:g})")
         print(
-            "  endpoints         : GET /healthz /stats /models | "
+            "  endpoints         : GET /healthz /stats /models /metrics | "
             "POST /estimate /update /models/reload",
             flush=True,
         )
@@ -1342,6 +1394,11 @@ def _cmd_saturate(args) -> int:
     model_path, split = _resolve_bench_model(args)
     queries, thresholds = _bench_pool(split, "all")
     model_dir, model_name = model_path.parent, model_path.name
+
+    if args.trace_out:
+        from .obs import configure_tracing
+
+        configure_tracing(args.trace_out, args.trace_sample, role="main")
 
     if args.smoke:
         loads = (200.0, 800.0)
@@ -1421,7 +1478,25 @@ def _cmd_saturate(args) -> int:
             )
     if args.output:
         _write_stats_json(args.output, payload)
+    if args.trace_out:
+        from .obs import read_trace_file
+
+        spans = read_trace_file(args.trace_out)
+        traces = {span.get("trace_id") for span in spans}
+        print(f"traces: {len(spans)} spans across {len(traces)} traces -> {args.trace_out}")
     return 0
+
+
+def _cmd_top(args) -> int:
+    from .obs import run_top
+
+    try:
+        frames = run_top(args.url, interval=args.interval, iterations=args.iterations)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as error:
+        raise SystemExit(f"error: cannot reach {args.url}: {error}")
+    return 0 if frames else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -1486,6 +1561,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "saturate":
         return _cmd_saturate(args)
+    if args.command == "top":
+        return _cmd_top(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2

@@ -38,6 +38,8 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..estimator import SelectivityEstimator
+from ..obs import MetricsRegistry, MetricsSnapshot
+from ..obs import trace as obstrace
 from ..serving.cache import DEFAULT_KEY_DECIMALS
 from .backends import BACKENDS, ShardFuture
 from .router import ShardRouter
@@ -47,7 +49,8 @@ PathLike = Union[str, Path]
 OVERLOAD_POLICIES = ("block", "shed")
 
 #: per-shard sliding window of sub-batch latencies kept for percentile stats
-#: (bounded so a long-lived cluster's stats() stays O(1) in memory and time)
+#: (the bounded ring inside each shard's latency Histogram — a long-lived
+#: cluster's stats() stays O(1) in memory and time)
 LATENCY_WINDOW = 4096
 
 
@@ -135,18 +138,49 @@ class _Shard:
     once.
     """
 
-    def __init__(self, shard_id: int, backend) -> None:
+    def __init__(self, shard_id: int, backend, metrics: MetricsRegistry) -> None:
         self.shard_id = shard_id
         self.backend = backend
         self.lock = threading.Lock()
         self.pending: Deque[_PendingCall] = deque()
-        self.requests = 0
-        self.sub_batches = 0
-        self.shed_batches = 0
-        self.shed_requests = 0
-        self.updates = 0
-        self.max_queue_depth = 0
-        self.latencies_ms: Deque[float] = deque(maxlen=LATENCY_WINDOW)
+        label = {"shard": str(shard_id)}
+
+        def counter(name: str, help_text: str):
+            return metrics.counter(name, help_text, ("shard",)).labels(**label)
+
+        self.requests = counter(
+            "repro_cluster_requests_total", "Rows routed to this shard"
+        )
+        self.sub_batches = counter(
+            "repro_cluster_sub_batches_total", "Scatter sub-batches sent to this shard"
+        )
+        self.shed_batches = counter(
+            "repro_cluster_shed_batches_total", "Sub-batches refused by admission control"
+        )
+        self.shed_requests = counter(
+            "repro_cluster_shed_requests_total", "Rows refused by admission control"
+        )
+        self.updates = counter(
+            "repro_cluster_updates_total", "Data updates fanned out to this shard"
+        )
+        self.queue_gauge = metrics.gauge(
+            "repro_cluster_queue_depth",
+            "In-flight sub-batches on this shard's bounded queue",
+            ("shard",),
+            aggregation="last",
+        ).labels(**label)
+        self.max_queue_gauge = metrics.gauge(
+            "repro_cluster_max_queue_depth",
+            "High-water mark of this shard's queue depth",
+            ("shard",),
+            aggregation="max",
+        ).labels(**label)
+        self.latency = metrics.histogram(
+            "repro_cluster_sub_batch_latency_seconds",
+            "Submit-to-settle latency of one shard sub-batch",
+            ("shard",),
+            ring_size=LATENCY_WINDOW,
+        ).labels(**label)
 
     @property
     def queue_depth(self) -> int:
@@ -156,26 +190,33 @@ class _Shard:
         call = _PendingCall(future=future, rows=rows, submitted_at=time.perf_counter())
         with self.lock:
             self.pending.append(call)
-            self.max_queue_depth = max(self.max_queue_depth, len(self.pending))
+            depth = len(self.pending)
+            self.queue_gauge.set(depth)
+            if depth > self.max_queue_gauge.value:
+                self.max_queue_gauge.set(depth)
         return call
+
+    @property
+    def max_queue_depth(self) -> int:
+        return int(self.max_queue_gauge.value)
 
     def settle(self, call: _PendingCall) -> Any:
         """Claim one call's result and release its queue slot (idempotent)."""
         try:
-            value = call.future.result()
+            with obstrace.span("cluster.queue_wait", shard=self.shard_id, rows=call.rows):
+                value = call.future.result()
         finally:
             # A failed call must release its queue slot too — otherwise a
             # dead shard's queue stays "full" and blocks admission forever.
             with self.lock:
                 if not call.settled:
                     call.settled = True
-                    self.latencies_ms.append(
-                        1000.0 * (time.perf_counter() - call.submitted_at)
-                    )
+                    self.latency.observe(time.perf_counter() - call.submitted_at)
                     try:
                         self.pending.remove(call)
                     except ValueError:  # pragma: no cover - already released
                         pass
+                    self.queue_gauge.set(len(self.pending))
         return value
 
     def oldest_pending(self) -> Optional[_PendingCall]:
@@ -207,20 +248,20 @@ class _Shard:
                 pass
 
     def latency_percentiles(self) -> Dict[str, float]:
-        """Percentiles over the sliding window of recent sub-batch latencies.
+        """Percentiles over the histogram's bounded ring of recent latencies.
 
         A shard with zero settled calls reports all-zero percentiles (a
         freshly spawned shard must not crash ``stats()``).
         """
-        with self.lock:
-            array = np.asarray(self.latencies_ms)
+        array = 1000.0 * self.latency.ring_array()
         if array.size == 0:
             return {"mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+        p50, p95, p99 = np.percentile(array, (50, 95, 99))
         return {
             "mean_ms": float(array.mean()),
-            "p50_ms": float(np.percentile(array, 50)),
-            "p95_ms": float(np.percentile(array, 95)),
-            "p99_ms": float(np.percentile(array, 99)),
+            "p50_ms": float(p50),
+            "p95_ms": float(p95),
+            "p99_ms": float(p99),
         }
 
 
@@ -261,8 +302,17 @@ class EstimationCluster:
         self.config = config
         self._backend_cls = _resolve_backend(config.backend)
         self._lock = threading.RLock()
+        self.metrics = MetricsRegistry()
+        self._scale_counter = self.metrics.counter(
+            "repro_cluster_scale_events_total",
+            "Cluster resizes, labeled by direction",
+            ("direction",),
+        )
         self.router = self._make_router(config.num_shards)
-        self._shards = [_Shard(i, self._backend_cls(config)) for i in range(config.num_shards)]
+        self._shards = [
+            _Shard(i, self._backend_cls(config), self.metrics)
+            for i in range(config.num_shards)
+        ]
         self._next_shard_id = config.num_shards
         self._model_payloads: Dict[str, bytes] = {}
         self._scale_events: List[Dict[str, Any]] = []
@@ -344,7 +394,9 @@ class EstimationCluster:
                     backend = self._backend_cls(self.config)
                     for name, payload in self._model_payloads.items():
                         backend.add_model(name, payload).result()
-                    self._shards.append(_Shard(self._next_shard_id, backend))
+                    self._shards.append(
+                        _Shard(self._next_shard_id, backend, self.metrics)
+                    )
                     self._next_shard_id += 1
             else:
                 removed = self._shards[num_shards:]
@@ -352,6 +404,11 @@ class EstimationCluster:
             # Swap the ring before draining: no new work can reach a
             # retiring shard once the router stops naming it.
             self.router = self._make_router(num_shards)
+            direction = "up" if num_shards > current else "down"
+            self._scale_counter.labels(direction=direction).inc()
+            self.metrics.gauge(
+                "repro_cluster_num_shards", "Current shard count"
+            ).set(num_shards)
             self._scale_events.append(
                 {
                     "at": time.time(),
@@ -386,8 +443,8 @@ class EstimationCluster:
             ]
             if full:
                 for shard, positions in full:
-                    shard.shed_batches += 1
-                    shard.shed_requests += len(positions)
+                    shard.shed_batches.inc()
+                    shard.shed_requests.inc(len(positions))
                 shard_ids = [shard.shard_id for shard, _ in full]
                 raise ClusterOverloadedError(
                     f"shard queue(s) {shard_ids} full ({capacity} in flight); "
@@ -455,7 +512,8 @@ class EstimationCluster:
                 (self._shards[int(shard_id)], np.flatnonzero(shard_ids == shard_id))
                 for shard_id in np.unique(shard_ids)
             ]
-            self._admit_all(groups)
+            with obstrace.span("cluster.admission", rows=len(thresholds)):
+                self._admit_all(groups)
             parts: List[Tuple[_Shard, np.ndarray, _PendingCall]] = []
             for shard, positions in groups:
                 future = shard.backend.estimate(
@@ -463,8 +521,8 @@ class EstimationCluster:
                 )
                 call = shard.track(future, rows=len(positions))
                 with shard.lock:
-                    shard.requests += len(positions)
-                    shard.sub_batches += 1
+                    shard.requests.inc(len(positions))
+                    shard.sub_batches.inc()
                 parts.append((shard, positions, call))
         return ClusterEstimateFuture(self, len(thresholds), parts)
 
@@ -513,7 +571,7 @@ class EstimationCluster:
         for shard, future in futures:
             summary = dict(future.result())
             summary["shard"] = shard.shard_id
-            shard.updates += 1
+            shard.updates.inc()
             summaries.append(summary)
         return summaries
 
@@ -552,15 +610,17 @@ class EstimationCluster:
         per_shard: List[Dict[str, Any]] = []
         for shard in shards:
             worker = shard.backend.stats().result()
+            depth = shard.queue_depth
+            shard.queue_gauge.set(depth)
             per_shard.append(
                 {
                     "shard": shard.shard_id,
-                    "requests": shard.requests,
-                    "sub_batches": shard.sub_batches,
-                    "shed_batches": shard.shed_batches,
-                    "shed_requests": shard.shed_requests,
-                    "updates": shard.updates,
-                    "queue_depth": shard.queue_depth,
+                    "requests": int(shard.requests.value),
+                    "sub_batches": int(shard.sub_batches.value),
+                    "shed_batches": int(shard.shed_batches.value),
+                    "shed_requests": int(shard.shed_requests.value),
+                    "updates": int(shard.updates.value),
+                    "queue_depth": depth,
                     "max_queue_depth": shard.max_queue_depth,
                     "latency": shard.latency_percentiles(),
                     "cache": worker.get("cache", {}),
@@ -581,3 +641,24 @@ class EstimationCluster:
             "total_updates": sum(entry["updates"] for entry in per_shard),
             "per_shard": per_shard,
         }
+
+    def metrics_snapshot(self, stats: Optional[Dict[str, Any]] = None) -> MetricsSnapshot:
+        """Cluster-wide merged snapshot: this registry + every worker's.
+
+        Each shard worker's :class:`~repro.serving.EstimationService`
+        registry crosses the process boundary inside its ``stats()`` reply
+        (the ``"metrics"`` key); here those snapshots are stamped with a
+        ``shard`` label and merged with the cluster's own counters.  Pass a
+        recent :meth:`stats` payload to reuse its worker round trips.
+        """
+        if stats is None:
+            stats = self.stats()
+        snapshot = self.metrics.snapshot()
+        for entry in stats.get("per_shard", []):
+            data = entry.get("worker", {}).get("metrics")
+            if data:
+                worker_snapshot = MetricsSnapshot.from_dict(data).with_labels(
+                    shard=str(entry["shard"])
+                )
+                snapshot = snapshot.merge(worker_snapshot)
+        return snapshot

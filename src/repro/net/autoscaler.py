@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class AutoscalerConfig:
@@ -81,6 +83,27 @@ class Autoscaler:
         self._thread: Optional[threading.Thread] = None
         self._stop_event = threading.Event()
         self.decisions: List[Dict[str, Any]] = []
+        # Decision events land in the cluster's registry, so /metrics and
+        # `repro top` explain shard-count moves without a separate scrape.
+        self.metrics: MetricsRegistry = getattr(cluster, "metrics", None) or MetricsRegistry()
+        self._decision_counter = self.metrics.counter(
+            "repro_autoscaler_decisions_total",
+            "Autoscaler ticks by outcome (up/down/hold/cooldown_skip)",
+            ("outcome",),
+        )
+        self._reset_counter = self.metrics.counter(
+            "repro_autoscaler_patience_resets_total",
+            "Patience streaks reset by a flipped pressure signal",
+            ("direction",),
+        )
+        self._fill_gauge = self.metrics.gauge(
+            "repro_autoscaler_queue_fill", "Mean queue fill at the last tick"
+        )
+        self._streak_gauge = self.metrics.gauge(
+            "repro_autoscaler_streak",
+            "Current patience streaks",
+            ("direction",),
+        )
 
     # ------------------------------------------------------------------ #
     def _pressure(self) -> Dict[str, float]:
@@ -110,6 +133,10 @@ class Autoscaler:
                 config.high_p99_ms > 0.0 and pressure["p99_ms"] > config.high_p99_ms
             )
             cold = pressure["mean_queue_fill"] <= config.low_queue_fill and not hot
+            if not hot and self._up_streak:
+                self._reset_counter.labels(direction="up").inc()
+            if not cold and self._down_streak:
+                self._reset_counter.labels(direction="down").inc()
             self._up_streak = self._up_streak + 1 if hot else 0
             self._down_streak = self._down_streak + 1 if cold else 0
 
@@ -118,15 +145,18 @@ class Autoscaler:
                 self._last_action_at is not None
                 and now - self._last_action_at < config.cooldown_seconds
             )
+            wants_up = self._up_streak >= config.patience_up and num_shards < config.max_shards
+            wants_down = (
+                self._down_streak >= config.patience_down and num_shards > config.min_shards
+            )
             action: Optional[str] = None
             if not in_cooldown:
-                if self._up_streak >= config.patience_up and num_shards < config.max_shards:
+                if wants_up:
                     action = "up"
-                elif (
-                    self._down_streak >= config.patience_down
-                    and num_shards > config.min_shards
-                ):
+                elif wants_down:
                     action = "down"
+            elif wants_up or wants_down:
+                self._decision_counter.labels(outcome="cooldown_skip").inc()
             if action is not None:
                 target = num_shards + (1 if action == "up" else -1)
                 self.cluster.scale_to(target)
@@ -134,6 +164,10 @@ class Autoscaler:
                 self._up_streak = 0
                 self._down_streak = 0
                 num_shards = target
+            self._decision_counter.labels(outcome=action or "hold").inc()
+            self._fill_gauge.set(pressure["mean_queue_fill"])
+            self._streak_gauge.labels(direction="up").set(self._up_streak)
+            self._streak_gauge.labels(direction="down").set(self._down_streak)
             decision = {
                 **pressure,
                 "num_shards": num_shards,

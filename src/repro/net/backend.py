@@ -28,6 +28,8 @@ import numpy as np
 
 from ..cluster.backends import _service_config_kwargs, register_backend
 from ..estimator import UpdateNotSupportedError
+from ..obs import MetricsRegistry, MetricsSnapshot
+from ..obs import trace as obstrace
 from .shm import DEFAULT_SLOT_BYTES, ShmRing, SlotPool
 from .worker import shard_main
 
@@ -129,6 +131,9 @@ class NetworkShardBackend:
                 slot_bytes,
                 self._service_kwargs,
                 bool(getattr(config, "warm_models", True)),
+                # The frontend's trace sink config rides along at spawn, so
+                # autoscaled shards created mid-run trace like the originals.
+                obstrace.trace_config(),
             ),
             daemon=True,
         )
@@ -138,11 +143,17 @@ class NetworkShardBackend:
         self._pump_lock = threading.Lock()  # one reader on the pipe at a time
         self._inflight: Deque[_NetFuture] = deque()
         self._closed = False
-        self.transport_stats: Dict[str, int] = {
-            "shm_batches": 0,
-            "fallback_batches": 0,
-            "shm_bytes": 0,
-        }
+        self.metrics = MetricsRegistry()
+        self._shm_batches = self.metrics.counter(
+            "repro_net_shm_batches_total", "Batches moved through the shm slot ring"
+        )
+        self._fallback_batches = self.metrics.counter(
+            "repro_net_fallback_batches_total",
+            "Oversized batches that fell back to the pickled control pipe",
+        )
+        self._shm_bytes = self.metrics.counter(
+            "repro_net_shm_bytes_total", "Batch bytes written into shm slots"
+        )
         ready = self._handshake()
         self.warmed_models = list(ready.get("warmed", []))
 
@@ -213,17 +224,28 @@ class NetworkShardBackend:
     # ------------------------------------------------------------------ #
     # Backend operations
     # ------------------------------------------------------------------ #
+    @property
+    def transport_stats(self) -> Dict[str, int]:
+        """The historical transport counter dict (view over the registry)."""
+        return {
+            "shm_batches": int(self._shm_batches.labels().value),
+            "fallback_batches": int(self._fallback_batches.labels().value),
+            "shm_bytes": int(self._shm_bytes.labels().value),
+        }
+
     def estimate(
         self, model: str, queries: np.ndarray, thresholds: np.ndarray, use_cache: bool
     ) -> _NetFuture:
         queries = np.ascontiguousarray(queries, dtype=np.float64)
         thresholds = np.ascontiguousarray(thresholds, dtype=np.float64)
         n, dim = queries.shape
+        trace = obstrace.current_trace_id()
         if self._ring.fits(n, dim):
             slot = self._slots.acquire()
-            self._ring.write_batch(slot, queries, thresholds)
-            self.transport_stats["shm_batches"] += 1
-            self.transport_stats["shm_bytes"] += queries.nbytes + thresholds.nbytes
+            with obstrace.span("transport.shm", rows=n):
+                self._ring.write_batch(slot, queries, thresholds)
+            self._shm_batches.inc()
+            self._shm_bytes.inc(queries.nbytes + thresholds.nbytes)
 
             def _parse(message: Dict[str, Any], slot: int = slot) -> np.ndarray:
                 results = self._ring.read_results(slot, message["n"])
@@ -237,6 +259,7 @@ class NetworkShardBackend:
                 "n": n,
                 "dim": dim,
                 "use_cache": bool(use_cache),
+                "trace": trace,
             }
             try:
                 future = self._submit(message, _parse)
@@ -245,18 +268,20 @@ class NetworkShardBackend:
                 raise
             return future
         # Oversized batch: control-pipe fallback (counted; still correct).
-        self.transport_stats["fallback_batches"] += 1
-        return self._submit(
-            {
-                "op": "estimate",
-                "model": model,
-                "slot": None,
-                "queries": queries,
-                "thresholds": thresholds,
-                "use_cache": bool(use_cache),
-            },
-            lambda message: message["results"],
-        )
+        self._fallback_batches.inc()
+        with obstrace.span("transport.pipe", rows=n):
+            return self._submit(
+                {
+                    "op": "estimate",
+                    "model": model,
+                    "slot": None,
+                    "queries": queries,
+                    "thresholds": thresholds,
+                    "use_cache": bool(use_cache),
+                    "trace": trace,
+                },
+                lambda message: message["results"],
+            )
 
     def update(
         self, model: str, inserts: Optional[np.ndarray], deletes: Optional[Sequence[int]]
@@ -275,7 +300,16 @@ class NetworkShardBackend:
     def stats(self) -> _NetFuture:
         def _parse(message: Dict[str, Any]) -> Dict[str, Any]:
             value = dict(message["value"])
-            value["transport"] = dict(self.transport_stats)
+            value["transport"] = self.transport_stats
+            # Fold the frontend-side transport counters into the worker's
+            # snapshot, so a cluster-wide merge sees both under one shard.
+            worker_metrics = value.get("metrics")
+            if worker_metrics is not None:
+                value["metrics"] = (
+                    MetricsSnapshot.from_dict(worker_metrics)
+                    .merge(self.metrics.snapshot())
+                    .as_dict()
+                )
             return value
 
         return self._submit({"op": "stats"}, _parse)

@@ -11,6 +11,11 @@ Server-side shed decisions survive the wire: a ``STATUS_ERROR`` frame (or
 HTTP 503 body) naming :class:`~repro.cluster.ClusterOverloadedError` is
 re-raised as that type, so a remote caller's backoff logic is identical to
 a local caller's.
+
+Both clients participate in request tracing: ``estimate(..., trace_id=...)``
+ships the ID to the server (binary frame field / ``X-Repro-Trace-Id``
+header), and constructing a client with ``trace=True`` mints a fresh ID per
+request and wraps the round-trip in a ``client.request`` span.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import Any, Dict, Optional, Sequence
 import numpy as np
 
 from ..cluster import ClusterOverloadedError
+from ..obs import trace as obstrace
 from . import protocol
 
 
@@ -39,10 +45,13 @@ def _reraise_remote(error: protocol.RemoteError) -> BaseException:
 class BinaryClient:
     """One persistent binary-protocol connection (thread-safe, serial)."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0, trace: bool = False
+    ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._lock = threading.Lock()
+        self.trace = trace
 
     def _roundtrip(self, request: bytes) -> Any:
         with self._lock:
@@ -62,10 +71,18 @@ class BinaryClient:
         queries: np.ndarray,
         thresholds: np.ndarray,
         use_cache: bool = True,
+        trace_id: Optional[str] = None,
     ) -> np.ndarray:
-        return self._roundtrip(
-            protocol.pack_estimate_request(model, queries, thresholds, use_cache)
-        )
+        if trace_id is None and self.trace:
+            trace_id = obstrace.new_trace_id()
+        with obstrace.span(
+            "client.request", trace_id=trace_id, transport="binary", model=model
+        ):
+            return self._roundtrip(
+                protocol.pack_estimate_request(
+                    model, queries, thresholds, use_cache, trace_id=trace_id
+                )
+            )
 
     def stats(self) -> Dict[str, Any]:
         return self._roundtrip(protocol.pack_control_request(protocol.OP_STATS))
@@ -95,16 +112,25 @@ class BinaryClient:
 class HttpClient:
     """JSON endpoints over :mod:`urllib` (no third-party HTTP stack)."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0, trace: bool = False
+    ) -> None:
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
+        self.trace = trace
 
-    def _request(self, path: str, body: Optional[Dict[str, Any]] = None) -> Any:
+    def _request(
+        self,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
+    ) -> Any:
         url = self.base_url + path
         data = None if body is None else json.dumps(body).encode("utf-8")
-        request = urllib.request.Request(
-            url, data=data, headers={"Content-Type": "application/json"}
-        )
+        headers = {"Content-Type": "application/json"}
+        if trace_id:
+            headers[obstrace.TRACE_HEADER] = trace_id
+        request = urllib.request.Request(url, data=data, headers=headers)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
@@ -131,6 +157,12 @@ class HttpClient:
     def models(self) -> Dict[str, Any]:
         return self._request("/models")
 
+    def metrics_text(self) -> str:
+        """The raw Prometheus text from ``GET /metrics``."""
+        request = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
+
     def reload_models(self) -> Dict[str, Any]:
         return self._request("/models/reload", body={})
 
@@ -140,14 +172,20 @@ class HttpClient:
         queries: np.ndarray,
         thresholds: np.ndarray,
         use_cache: bool = True,
+        trace_id: Optional[str] = None,
     ) -> np.ndarray:
+        if trace_id is None and self.trace:
+            trace_id = obstrace.new_trace_id()
         body = {
             "model": model,
             "queries": np.asarray(queries, dtype=np.float64).tolist(),
             "thresholds": np.asarray(thresholds, dtype=np.float64).tolist(),
             "use_cache": use_cache,
         }
-        response = self._request("/estimate", body=body)
+        with obstrace.span(
+            "client.request", trace_id=trace_id, transport="http", model=model
+        ):
+            response = self._request("/estimate", body=body, trace_id=trace_id)
         return np.asarray(response["results"], dtype=np.float64)
 
     def update(

@@ -17,7 +17,10 @@ Request payloads
 ----------------
 ``OP_ESTIMATE``
     ``u8 op | u8 flags | u16 model_len | model utf-8 | u32 n | u32 dim |
-    n*dim f64 queries | n f64 thresholds`` — flags bit 0 = use_cache.
+    n*dim f64 queries | n f64 thresholds [| trace utf-8]`` — flags bit 0 =
+    use_cache, flags bit 1 = a trace ID is appended *after* the thresholds
+    (at the end so every pre-trace offset parses unchanged; a server that
+    does not know the flag still reads the batch correctly).
 ``OP_STATS`` / ``OP_MODELS`` / ``OP_RELOAD`` / ``OP_PING``
     ``u8 op`` alone.
 
@@ -51,6 +54,12 @@ OP_PING = 5
 STATUS_OK = 0
 STATUS_OK_JSON = 1
 STATUS_ERROR = 2
+
+FLAG_USE_CACHE = 1
+FLAG_TRACE = 2
+
+#: trace IDs are 16 hex chars; cap defensively against garbage flags
+MAX_TRACE_BYTES = 64
 
 _HEADER = struct.Struct(">2sI")
 _F64 = np.dtype("<f8")
@@ -109,7 +118,11 @@ def read_frame(sock: socket.socket) -> Optional[bytes]:
 # Requests
 # ---------------------------------------------------------------------- #
 def pack_estimate_request(
-    model: str, queries: np.ndarray, thresholds: np.ndarray, use_cache: bool = True
+    model: str,
+    queries: np.ndarray,
+    thresholds: np.ndarray,
+    use_cache: bool = True,
+    trace_id: Optional[str] = None,
 ) -> bytes:
     queries = np.ascontiguousarray(queries, dtype=_F64)
     thresholds = np.ascontiguousarray(thresholds, dtype=_F64)
@@ -120,9 +133,16 @@ def pack_estimate_request(
         )
     name = model.encode("utf-8")
     n, dim = queries.shape
-    head = struct.pack(">BBH", OP_ESTIMATE, 1 if use_cache else 0, len(name))
+    flags = FLAG_USE_CACHE if use_cache else 0
+    trailer = b""
+    if trace_id:
+        trailer = trace_id.encode("utf-8")
+        if len(trailer) > MAX_TRACE_BYTES:
+            raise ValueError(f"trace id longer than {MAX_TRACE_BYTES} bytes")
+        flags |= FLAG_TRACE
+    head = struct.pack(">BBH", OP_ESTIMATE, flags, len(name))
     shape = struct.pack(">II", n, dim)
-    return head + name + shape + queries.tobytes() + thresholds.tobytes()
+    return head + name + shape + queries.tobytes() + thresholds.tobytes() + trailer
 
 
 def pack_control_request(op: int) -> bytes:
@@ -148,7 +168,15 @@ def parse_request(payload: bytes) -> Tuple[int, Optional[Dict[str, Any]]]:
     offset += 8
     q_bytes = n * dim * 8
     expected = offset + q_bytes + n * 8
-    if len(payload) != expected:
+    trace: Optional[str] = None
+    if flags & FLAG_TRACE:
+        trailer = payload[expected:]
+        if not trailer or len(trailer) > MAX_TRACE_BYTES:
+            raise ProtocolError(
+                f"trace flag set but trailer is {len(trailer)} bytes"
+            )
+        trace = trailer.decode("utf-8")
+    elif len(payload) != expected:
         raise ProtocolError(
             f"estimate frame is {len(payload)} bytes, expected {expected}"
         )
@@ -158,7 +186,8 @@ def parse_request(payload: bytes) -> Tuple[int, Optional[Dict[str, Any]]]:
         "model": model,
         "queries": queries,
         "thresholds": thresholds,
-        "use_cache": bool(flags & 1),
+        "use_cache": bool(flags & FLAG_USE_CACHE),
+        "trace": trace,
     }
 
 

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cluster import ClusterConfig, ClusterOverloadedError, EstimationCluster
+from ..obs import trace as obstrace
 from .client import BinaryClient
 from .server import build_server
 
@@ -121,7 +122,10 @@ def _drive_load(
     start = time.perf_counter()
 
     def _sender() -> None:
-        client = BinaryClient(address[0], address[1])
+        # When `repro saturate --trace-out` configured a sink, every batch
+        # gets a trace ID: the sender's client.request span and the server
+        # and worker-side spans all land in the same JSONL file.
+        client = BinaryClient(address[0], address[1], trace=obstrace.tracing_enabled())
         try:
             while True:
                 with cursor_lock:

@@ -35,9 +35,18 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..cluster import ClusterConfig, ClusterOverloadedError, EstimationCluster
+from ..obs import MetricsRegistry, MetricsSnapshot, aggregate_histogram, histogram_percentile
+from ..obs import trace as obstrace
 from ..serving import EstimationService
 from .autoscaler import Autoscaler, AutoscalerConfig
 from . import protocol
+
+#: histogram families surfaced as the per-layer latency summary in /stats
+_LAYER_HISTOGRAMS = {
+    "server.request": "repro_app_request_latency_seconds",
+    "cluster.sub_batch": "repro_cluster_sub_batch_latency_seconds",
+    "service.estimate": "repro_service_estimate_latency_seconds",
+}
 
 
 class ServeApp:
@@ -53,12 +62,25 @@ class ServeApp:
         model_dir = cluster.config.model_dir
         self.catalog = EstimationService(model_dir=model_dir, cache_capacity=0)
         self.started_at = time.time()
-        self._lock = threading.Lock()
-        self.request_counts: Dict[str, int] = {}
+        self.metrics = MetricsRegistry()
+        self._endpoint_counter = self.metrics.counter(
+            "repro_app_requests_total", "Frontend requests by endpoint", ("endpoint",)
+        )
+        self._request_latency = self.metrics.histogram(
+            "repro_app_request_latency_seconds",
+            "Frontend handler latency by endpoint",
+            ("endpoint",),
+        )
 
     def _count(self, endpoint: str) -> None:
-        with self._lock:
-            self.request_counts[endpoint] = self.request_counts.get(endpoint, 0) + 1
+        self._endpoint_counter.labels(endpoint=endpoint).inc()
+
+    @property
+    def request_counts(self) -> Dict[str, int]:
+        return {
+            labels["endpoint"]: int(child.value)
+            for labels, child in self._endpoint_counter.series()
+        }
 
     # ------------------------------------------------------------------ #
     # Operations (shared by both transports)
@@ -71,11 +93,23 @@ class ServeApp:
         use_cache: bool = True,
     ) -> np.ndarray:
         self._count("estimate")
-        return self.cluster.estimate(model, queries, thresholds, use_cache=use_cache)
+        start = time.perf_counter()
+        try:
+            return self.cluster.estimate(model, queries, thresholds, use_cache=use_cache)
+        finally:
+            self._request_latency.labels(endpoint="estimate").observe(
+                time.perf_counter() - start
+            )
 
     def update(self, model: str, inserts, deletes) -> Any:
         self._count("update")
-        return self.cluster.update(model, inserts=inserts, deletes=deletes)
+        start = time.perf_counter()
+        try:
+            return self.cluster.update(model, inserts=inserts, deletes=deletes)
+        finally:
+            self._request_latency.labels(endpoint="update").observe(
+                time.perf_counter() - start
+            )
 
     def reload_models(self) -> Dict[str, Any]:
         self._count("reload")
@@ -90,16 +124,63 @@ class ServeApp:
 
     def stats(self) -> Dict[str, Any]:
         self._count("stats")
-        with self._lock:
-            counts = dict(self.request_counts)
+        cluster_stats = self.cluster.stats()
         payload = {
             "uptime_seconds": time.time() - self.started_at,
-            "endpoints": counts,
-            "cluster": self.cluster.stats(),
+            "endpoints": self.request_counts,
+            "cluster": cluster_stats,
+            "layers": self._layer_summary(cluster_stats),
         }
         if self.autoscaler is not None:
             payload["autoscaler"] = self.autoscaler.describe()
         return payload
+
+    def _layer_summary(self, cluster_stats: Dict[str, Any]) -> Dict[str, Any]:
+        """p50/p99 + count per latency histogram, across all shards/models."""
+        snapshot = self.metrics_snapshot(cluster_stats)
+        layers: Dict[str, Any] = {}
+        for layer, family in _LAYER_HISTOGRAMS.items():
+            data = aggregate_histogram(snapshot, family)
+            if data is None or not data["count"]:
+                continue
+            layers[layer] = {
+                "count": int(data["count"]),
+                "p50_ms": 1000.0 * histogram_percentile(data, 50.0),
+                "p99_ms": 1000.0 * histogram_percentile(data, 99.0),
+            }
+        return layers
+
+    def metrics_snapshot(
+        self, cluster_stats: Optional[Dict[str, Any]] = None
+    ) -> MetricsSnapshot:
+        """One merged snapshot: app counters + cluster + per-shard workers.
+
+        The catalog service's registry is deliberately excluded — its series
+        are labeled ``(model,)`` while worker series carry ``(model, shard)``,
+        and the catalog never serves estimates anyway.
+        """
+        merged = self.cluster.metrics_snapshot(stats=cluster_stats)
+        return merged.merge(self.metrics.snapshot())
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition for ``GET /metrics``."""
+        cluster_stats = self.cluster.stats()
+        snapshot = self.metrics_snapshot(cluster_stats)
+        # Derived gauges that only exist at scrape time: per-shard worker
+        # cache hit rate, plus uptime — built in a transient registry so the
+        # live ones stay pure counters.
+        derived = MetricsRegistry()
+        hit_rate = derived.gauge(
+            "repro_cache_hit_rate", "Worker curve-cache hit rate", ("shard",)
+        )
+        for entry in cluster_stats.get("per_shard", []):
+            cache = entry.get("worker", {}).get("cache")
+            if cache:
+                hit_rate.labels(shard=str(entry["shard"])).set(cache.get("hit_rate", 0.0))
+        derived.gauge("repro_app_uptime_seconds", "Seconds since app start").set(
+            time.time() - self.started_at
+        )
+        return snapshot.merge(derived.snapshot()).to_prometheus()
 
     def healthz(self) -> Dict[str, Any]:
         return {"ok": True, "num_shards": self.cluster.num_shards}
@@ -129,11 +210,13 @@ class _HttpHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # request logging is the caller's concern, not stderr's
 
-    def _send_json(self, status: int, value: Any) -> None:
+    def _send_json(self, status: int, value: Any, trace_id: Optional[str] = None) -> None:
         body = json.dumps(value).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if trace_id:
+            self.send_header(obstrace.TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -150,6 +233,16 @@ class _HttpHandler(BaseHTTPRequestHandler):
             raise ValueError("empty request body; expected JSON")
         return json.loads(raw.decode("utf-8"))
 
+    def _send_text(self, status: int, body: str, trace_id: Optional[str] = None) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        if trace_id:
+            self.send_header(obstrace.TRACE_HEADER, trace_id)
+        self.end_headers()
+        self.wfile.write(data)
+
     def do_GET(self) -> None:  # noqa: N802
         try:
             if self.path == "/healthz":
@@ -158,6 +251,8 @@ class _HttpHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self.app.stats())
             elif self.path == "/models":
                 self._send_json(200, self.app.models())
+            elif self.path == "/metrics":
+                self._send_text(200, self.app.metrics_text())
             else:
                 self._send_json(404, {"error": "NotFound", "message": self.path})
         except BrokenPipeError:  # pragma: no cover - client went away
@@ -166,18 +261,27 @@ class _HttpHandler(BaseHTTPRequestHandler):
             self._send_error_json(error)
 
     def do_POST(self) -> None:  # noqa: N802
+        trace_id = self.headers.get(obstrace.TRACE_HEADER)
+        if trace_id is None and obstrace.tracing_enabled():
+            # A server run with --trace-out records every (sampled) request,
+            # not just those from trace-aware clients.
+            trace_id = obstrace.new_trace_id()
         try:
             if self.path == "/estimate":
                 body = self._read_json_body()
                 queries = np.asarray(body["queries"], dtype=np.float64)
                 thresholds = np.asarray(body["thresholds"], dtype=np.float64)
-                results = self.app.estimate(
-                    body["model"], queries, thresholds,
-                    use_cache=bool(body.get("use_cache", True)),
-                )
-                self._send_json(
-                    200, {"model": body["model"], "results": results.tolist()}
-                )
+                with obstrace.trace_context(trace_id), obstrace.span(
+                    "server.estimate", transport="http", model=body["model"]
+                ):
+                    results = self.app.estimate(
+                        body["model"], queries, thresholds,
+                        use_cache=bool(body.get("use_cache", True)),
+                    )
+                response = {"model": body["model"], "results": results.tolist()}
+                if trace_id:
+                    response["trace_id"] = trace_id
+                self._send_json(200, response, trace_id=trace_id)
             elif self.path == "/update":
                 body = self._read_json_body()
                 inserts = body.get("inserts")
@@ -224,12 +328,18 @@ class _BinaryHandler(socketserver.BaseRequestHandler):
             try:
                 op, fields = protocol.parse_request(payload)
                 if op == protocol.OP_ESTIMATE:
-                    results = app.estimate(
-                        fields["model"],
-                        fields["queries"],
-                        fields["thresholds"],
-                        use_cache=fields["use_cache"],
-                    )
+                    trace_id = fields.get("trace")
+                    if trace_id is None and obstrace.tracing_enabled():
+                        trace_id = obstrace.new_trace_id()
+                    with obstrace.trace_context(trace_id), obstrace.span(
+                        "server.estimate", transport="binary", model=fields["model"]
+                    ):
+                        results = app.estimate(
+                            fields["model"],
+                            fields["queries"],
+                            fields["thresholds"],
+                            use_cache=fields["use_cache"],
+                        )
                     response = protocol.pack_results_response(results)
                 elif op == protocol.OP_STATS:
                     response = protocol.pack_json_response(app.stats())

@@ -25,8 +25,9 @@ from __future__ import annotations
 import os
 import pickle
 import traceback
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
+from ..obs import trace as obstrace
 from .shm import ShmRing
 
 
@@ -44,11 +45,19 @@ def shard_main(
     slot_bytes: int,
     service_kwargs: Dict[str, Any],
     warm_models: bool = True,
+    trace_config: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Run one shard worker until ``shutdown`` or the control pipe closes."""
     from ..estimator import UpdateNotSupportedError  # noqa: F401 (unpickling)
     from ..serving import EstimationService
 
+    if trace_config:
+        # Same JSONL sink as the frontend (O_APPEND keeps lines whole across
+        # processes); sampling is deterministic per trace ID, so this worker
+        # records exactly the traces the frontend records.
+        obstrace.configure_tracing(
+            trace_config["path"], trace_config.get("sample", 1.0), role="shard"
+        )
     service = EstimationService(**service_kwargs)
     warmed = service.preload() if warm_models else []
     ring = ShmRing.attach(ring_name, num_slots, slot_bytes)
@@ -73,12 +82,19 @@ def shard_main(
                         queries, thresholds = ring.read_batch(
                             slot, message["n"], message["dim"]
                         )
-                    results = service.estimate(
-                        message["model"],
-                        queries,
-                        thresholds,
-                        use_cache=message["use_cache"],
-                    )
+                    trace = message.get("trace")
+                    with obstrace.trace_context(trace), obstrace.span(
+                        "worker.estimate",
+                        model=message["model"],
+                        rows=len(thresholds),
+                        via="shm" if slot is not None else "pipe",
+                    ):
+                        results = service.estimate(
+                            message["model"],
+                            queries,
+                            thresholds,
+                            use_cache=message["use_cache"],
+                        )
                     if slot is None:
                         _safe_reply(
                             connection, {"ok": True, "op": op, "results": results}

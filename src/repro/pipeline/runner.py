@@ -37,6 +37,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..obs import trace as obstrace
 from .specs import ExperimentSpec, Spec
 from .store import ArtifactStore, BuildInfo
 
@@ -54,6 +55,9 @@ class StageReport:
     #: ``False`` when built, ``"memory"`` / ``"disk"`` when served from cache
     cached: Union[bool, str]
     seconds: float
+    #: CPU seconds spent by the stage's worker thread (``time.thread_time``
+    #: — a cache replay shows ~0, a compute-bound build tracks ``seconds``)
+    cpu_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -62,6 +66,7 @@ class StageReport:
             "hash": self.spec_hash,
             "cached": self.cached,
             "seconds": self.seconds,
+            "cpu_seconds": self.cpu_seconds,
         }
 
 
@@ -182,6 +187,9 @@ class PipelineRunner:
         nodes, dependents, indegree, order_index = self._build_dag(experiment)
         report = PipelineReport(experiment=experiment.name)
         values: Dict[str, Any] = {}
+        # One trace per run, so stage spans in the sink share a trace ID
+        # (pool threads don't inherit the context var — passed explicitly).
+        trace_id = obstrace.new_trace_id() if obstrace.tracing_enabled() else None
         start = time.perf_counter()
 
         if not nodes:
@@ -229,7 +237,7 @@ class PipelineRunner:
                     index = 0
                     exclusive_in_flight = True
                 key = ready.pop(index)
-                future = executor.submit(self._run_stage, nodes[key], options)
+                future = executor.submit(self._run_stage, nodes[key], options, trace_id)
                 in_flight[future] = key
 
         with ThreadPoolExecutor(
@@ -245,7 +253,7 @@ class PipelineRunner:
                     if nodes[key].exclusive:
                         exclusive_in_flight = False
                     try:
-                        value, info = future.result()
+                        value, info, cpu_seconds = future.result()
                     except BaseException as error:  # noqa: BLE001 - re-raised below
                         failure = failure or error
                         continue
@@ -257,6 +265,7 @@ class PipelineRunner:
                             spec_hash=info.spec_hash,
                             cached=info.cached,
                             seconds=info.seconds,
+                            cpu_seconds=cpu_seconds,
                         )
                     )
                     for dependent in dependents[key]:
@@ -272,11 +281,26 @@ class PipelineRunner:
 
     # ------------------------------------------------------------------ #
     def _run_stage(
-        self, spec: Spec, options: Optional[Dict[str, Any]] = None
-    ) -> Tuple[Any, BuildInfo]:
-        return self.store.get_or_build_info(
-            spec, **(self.engine_options if options is None else options)
-        )
+        self,
+        spec: Spec,
+        options: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
+    ) -> Tuple[Any, BuildInfo, float]:
+        """One stage build, with a CPU timer and an optional trace span.
+
+        ``time.thread_time`` is per-thread, and a stage runs wholly on its
+        pool thread, so the delta is *this stage's* CPU even while other
+        stages overlap on the pool.
+        """
+        cpu_start = time.thread_time()
+        with obstrace.span(
+            "pipeline.stage", trace_id=trace_id, kind=spec.kind, spec=spec.spec_hash
+        ) as fields:
+            value, info = self.store.get_or_build_info(
+                spec, **(self.engine_options if options is None else options)
+            )
+            fields["cached"] = info.cached
+        return value, info, time.thread_time() - cpu_start
 
     def _build_dag(self, experiment: ExperimentSpec):
         """Deduplicated spec closure as (nodes, dependents, indegree, order).

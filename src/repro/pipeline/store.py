@@ -37,10 +37,11 @@ import shutil
 import threading
 import time
 import uuid
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
+from ..obs import MetricsRegistry
 from .specs import Spec, canonical_value
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -70,30 +71,60 @@ class BuildInfo:
     seconds: float
 
 
-@dataclass
 class StoreStats:
-    """Hit / miss counters, per artifact kind and overall."""
+    """Hit / miss counters, per artifact kind and overall.
 
-    hits_memory: int = 0
-    hits_disk: int = 0
-    misses: int = 0
-    by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    A view over one ``repro_store_lookups_total{kind,result}`` counter
+    family in a :class:`~repro.obs.MetricsRegistry` (``result`` is one of
+    ``memory`` / ``disk`` / ``miss``); the historical attributes and
+    ``as_dict`` shape are derived from the series on read.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lookups = self.registry.counter(
+            "repro_store_lookups_total",
+            "Artifact-store lookups by kind and result (memory/disk/miss)",
+            ("kind", "result"),
+        )
+
+    def record(self, kind: str, cached: Union[bool, str]) -> None:
+        result = "miss" if not cached else ("disk" if cached == "disk" else "memory")
+        self._lookups.labels(kind=kind, result=result).inc()
+
+    def _count(self, **match: str) -> int:
+        return int(
+            sum(
+                child.value
+                for labels, child in self._lookups.series()
+                if all(labels[key] == value for key, value in match.items())
+            )
+        )
+
+    @property
+    def hits_memory(self) -> int:
+        return self._count(result="memory")
+
+    @property
+    def hits_disk(self) -> int:
+        return self._count(result="disk")
+
+    @property
+    def misses(self) -> int:
+        return self._count(result="miss")
 
     @property
     def hits(self) -> int:
         return self.hits_memory + self.hits_disk
 
-    def record(self, kind: str, cached: Union[bool, str]) -> None:
-        bucket = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
-        if cached:
-            bucket["hits"] += 1
-            if cached == "disk":
-                self.hits_disk += 1
-            else:
-                self.hits_memory += 1
-        else:
-            bucket["misses"] += 1
-            self.misses += 1
+    @property
+    def by_kind(self) -> Dict[str, Dict[str, int]]:
+        buckets: Dict[str, Dict[str, int]] = {}
+        for labels, child in self._lookups.series():
+            bucket = buckets.setdefault(labels["kind"], {"hits": 0, "misses": 0})
+            key = "misses" if labels["result"] == "miss" else "hits"
+            bucket[key] += int(child.value)
+        return buckets
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -101,7 +132,7 @@ class StoreStats:
             "hits_memory": self.hits_memory,
             "hits_disk": self.hits_disk,
             "misses": self.misses,
-            "by_kind": {kind: dict(counts) for kind, counts in self.by_kind.items()},
+            "by_kind": self.by_kind,
         }
 
 
@@ -121,7 +152,8 @@ class ArtifactStore:
         self._locks: Dict[str, threading.Lock] = {}
         self._locks_guard = threading.Lock()
         self._stats_guard = threading.Lock()
-        self.stats = StoreStats()
+        self.metrics = MetricsRegistry()
+        self.stats = StoreStats(self.metrics)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -324,7 +356,9 @@ class ArtifactStore:
         return sum(entry["size_bytes"] for entry in self.list_artifacts())
 
     def reset_stats(self) -> None:
-        self.stats = StoreStats()
+        # Counters are monotone; resetting swaps in a fresh registry.
+        self.metrics = MetricsRegistry()
+        self.stats = StoreStats(self.metrics)
 
     def clear_memory(self) -> None:
         """Drop the in-process value cache (disk artifacts are untouched).

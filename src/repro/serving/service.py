@@ -33,6 +33,8 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..estimator import SelectivityEstimator
+from ..obs import MetricsRegistry
+from ..obs import trace as obstrace
 from ..persistence import SIDECAR_FILE, load_estimator, read_metadata
 from ..workloads import EstimateEvent, Scenario, TrafficGenerator, UpdateEvent
 from .batching import iter_microbatches
@@ -41,31 +43,74 @@ from .cache import DEFAULT_KEY_DECIMALS, CachedCurve, CurveCache
 PathLike = Union[str, Path]
 
 
-@dataclass
 class ModelStats:
-    """Counters for one served model."""
+    """One model's counters, as a view over the service's metrics registry.
 
-    requests: int = 0
-    batches: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    curve_builds: int = 0
-    updates: int = 0
-    total_estimate_seconds: float = 0.0
+    The registry series (``repro_service_*_total{model=...}``) are the
+    single source of truth; this object caches the labeled children so the
+    hot path increments without label resolution, and ``as_dict`` keeps the
+    historical per-model stats shape.
+    """
+
+    __slots__ = (
+        "requests",
+        "batches",
+        "cache_hits",
+        "cache_misses",
+        "curve_builds",
+        "updates",
+        "estimate_seconds",
+        "latency",
+    )
+
+    def __init__(self, registry: MetricsRegistry, model: str) -> None:
+        def counter(name: str, help_text: str):
+            return registry.counter(name, help_text, ("model",)).labels(model=model)
+
+        self.requests = counter(
+            "repro_service_requests_total", "Estimate requests served (rows)"
+        )
+        self.batches = counter(
+            "repro_service_batches_total", "Estimator/kernel micro-batch calls"
+        )
+        self.cache_hits = counter(
+            "repro_service_cache_hits_total", "Curve-cache hits"
+        )
+        self.cache_misses = counter(
+            "repro_service_cache_misses_total", "Curve-cache misses"
+        )
+        self.curve_builds = counter(
+            "repro_service_curve_builds_total", "Selectivity curves built and cached"
+        )
+        self.updates = counter(
+            "repro_service_updates_total", "Data updates applied to the model"
+        )
+        self.estimate_seconds = counter(
+            "repro_service_estimate_seconds_total", "Wall seconds inside estimate()"
+        )
+        self.latency = registry.histogram(
+            "repro_service_estimate_latency_seconds",
+            "Per-call estimate() latency",
+            ("model",),
+        ).labels(model=model)
 
     def as_dict(self) -> Dict[str, float]:
-        total_cache = self.cache_hits + self.cache_misses
+        hits = int(self.cache_hits.value)
+        misses = int(self.cache_misses.value)
+        requests = int(self.requests.value)
+        seconds = self.estimate_seconds.value
+        total_cache = hits + misses
         return {
-            "requests": self.requests,
-            "batches": self.batches,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_hit_rate": self.cache_hits / total_cache if total_cache else 0.0,
-            "curve_builds": self.curve_builds,
-            "updates": self.updates,
-            "total_estimate_seconds": self.total_estimate_seconds,
+            "requests": requests,
+            "batches": int(self.batches.value),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": hits / total_cache if total_cache else 0.0,
+            "curve_builds": int(self.curve_builds.value),
+            "updates": int(self.updates.value),
+            "total_estimate_seconds": seconds,
             "mean_latency_ms_per_request": (
-                1000.0 * self.total_estimate_seconds / self.requests if self.requests else 0.0
+                1000.0 * seconds / requests if requests else 0.0
             ),
         }
 
@@ -113,6 +158,7 @@ class EstimationService:
         self.max_batch_size = int(max_batch_size)
         self.use_compiled = bool(use_compiled)
         self.cache = CurveCache(capacity=cache_capacity, decimals=cache_key_decimals)
+        self.metrics = MetricsRegistry()
         self._estimators: Dict[str, SelectivityEstimator] = {}
         self._metadata: Dict[str, Dict[str, Any]] = {}
         self._stats: Dict[str, ModelStats] = {}
@@ -183,7 +229,7 @@ class EstimationService:
         self._estimators[name] = estimator
         if metadata is not None:
             self._metadata[name] = metadata
-        self._stats.setdefault(name, ModelStats())
+        self._model_stats(name)
 
     def get(self, name: str) -> SelectivityEstimator:
         """The estimator for ``name``, loading it from disk on first use."""
@@ -199,11 +245,14 @@ class EstimationService:
         estimator = load_estimator(path)
         self._estimators[name] = estimator
         self._metadata[name] = read_metadata(path)
-        self._stats.setdefault(name, ModelStats())
+        self._model_stats(name)
         return estimator
 
     def _model_stats(self, name: str) -> ModelStats:
-        return self._stats.setdefault(name, ModelStats())
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats.setdefault(name, ModelStats(self.metrics, name))
+        return stats
 
     def preload(self) -> List[str]:
         """Load every disk-backed model now (shard warm-up at spawn).
@@ -281,8 +330,10 @@ class EstimationService:
             results = self._estimate_cached(name, estimator, queries, thresholds, stats)
         else:
             results = self._estimate_direct(name, estimator, queries, thresholds, stats)
-        stats.requests += len(thresholds)
-        stats.total_estimate_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        stats.requests.inc(len(thresholds))
+        stats.estimate_seconds.inc(elapsed)
+        stats.latency.observe(elapsed)
         return results
 
     def estimate_one(
@@ -308,12 +359,13 @@ class EstimationService:
     ) -> np.ndarray:
         kernel = self._kernel(name)
         results = np.empty(len(thresholds), dtype=np.float64)
-        for batch in iter_microbatches(queries, thresholds, self.max_batch_size):
-            if kernel is not None:
-                results[batch.positions] = kernel.predict(batch.queries, batch.thresholds)
-            else:
-                results[batch.positions] = estimator.estimate(batch.queries, batch.thresholds)
-            stats.batches += 1
+        with obstrace.span("service.kernel_execute", model=name, rows=len(thresholds)):
+            for batch in iter_microbatches(queries, thresholds, self.max_batch_size):
+                if kernel is not None:
+                    results[batch.positions] = kernel.predict(batch.queries, batch.thresholds)
+                else:
+                    results[batch.positions] = estimator.estimate(batch.queries, batch.thresholds)
+                stats.batches.inc()
         return results
 
     def _estimate_cached(
@@ -326,16 +378,18 @@ class EstimationService:
     ) -> np.ndarray:
         results = np.empty(len(thresholds), dtype=np.float64)
         miss_positions: List[int] = []
-        for i in range(len(thresholds)):
-            # An entry whose grid stops short of the requested threshold is a
-            # miss: the curve gets rebuilt over a range covering it.
-            curve = self.cache.get(name, queries[i], threshold=float(thresholds[i]))
-            if curve is not None:
-                results[i] = curve(thresholds[i])
-                stats.cache_hits += 1
-            else:
-                miss_positions.append(i)
-                stats.cache_misses += 1
+        with obstrace.span("service.cache_lookup", model=name, rows=len(thresholds)) as lookup:
+            for i in range(len(thresholds)):
+                # An entry whose grid stops short of the requested threshold is a
+                # miss: the curve gets rebuilt over a range covering it.
+                curve = self.cache.get(name, queries[i], threshold=float(thresholds[i]))
+                if curve is not None:
+                    results[i] = curve(thresholds[i])
+                    stats.cache_hits.inc()
+                else:
+                    miss_positions.append(i)
+                    stats.cache_misses.inc()
+            lookup["misses"] = len(miss_positions)
         if miss_positions:
             self._fill_misses(name, estimator, queries, thresholds, miss_positions, results, stats)
         return results
@@ -367,23 +421,24 @@ class EstimationService:
         kernel = self._kernel(name)
         num_grid = len(grid)
         values = np.empty((len(unique_queries), num_grid), dtype=np.float64)
-        if kernel is not None and kernel.fuses_curves:
-            for start in range(0, len(unique_queries), self.max_batch_size):
-                stop = min(start + self.max_batch_size, len(unique_queries))
-                values[start:stop] = kernel.curve_values(unique_queries[start:stop], grid)
-                stats.batches += 1
-        else:
-            # Non-fusing path: expand to (query, grid point) rows and keep
-            # every estimator call within the configured micro-batch bound.
-            repeated = np.repeat(unique_queries, num_grid, axis=0)
-            tiled = np.tile(grid, len(unique_queries))
-            flat = values.reshape(-1)
-            for batch in iter_microbatches(repeated, tiled, self.max_batch_size):
-                if kernel is not None:
-                    flat[batch.positions] = kernel.predict(batch.queries, batch.thresholds)
-                else:
-                    flat[batch.positions] = estimator.estimate(batch.queries, batch.thresholds)
-                stats.batches += 1
+        with obstrace.span("service.kernel_execute", model=name, rows=len(unique_queries)):
+            if kernel is not None and kernel.fuses_curves:
+                for start in range(0, len(unique_queries), self.max_batch_size):
+                    stop = min(start + self.max_batch_size, len(unique_queries))
+                    values[start:stop] = kernel.curve_values(unique_queries[start:stop], grid)
+                    stats.batches.inc()
+            else:
+                # Non-fusing path: expand to (query, grid point) rows and keep
+                # every estimator call within the configured micro-batch bound.
+                repeated = np.repeat(unique_queries, num_grid, axis=0)
+                tiled = np.tile(grid, len(unique_queries))
+                flat = values.reshape(-1)
+                for batch in iter_microbatches(repeated, tiled, self.max_batch_size):
+                    if kernel is not None:
+                        flat[batch.positions] = kernel.predict(batch.queries, batch.thresholds)
+                    else:
+                        flat[batch.positions] = estimator.estimate(batch.queries, batch.thresholds)
+                    stats.batches.inc()
         return values
 
     def _fill_misses(
@@ -408,7 +463,7 @@ class EstimationService:
         for index, positions in enumerate(unique.values()):
             curve = CachedCurve(thresholds=grid, values=values[index])
             self.cache.put(name, queries[positions[0]], curve)
-            stats.curve_builds += 1
+            stats.curve_builds.inc()
             for position in positions:
                 results[position] = curve(thresholds[position])
 
@@ -445,7 +500,7 @@ class EstimationService:
             curve = CachedCurve(thresholds=grid, values=values[row])
             if default_grid:
                 self.cache.put(name, queries[row], curve)
-                stats.curve_builds += 1
+                stats.curve_builds.inc()
             curves.append(curve)
         return curves
 
@@ -482,14 +537,20 @@ class EstimationService:
         estimator = self.get(name)
         reports = estimator.update(inserts=inserts, deletes=deletes)
         self.cache.invalidate(name)
-        self._model_stats(name).updates += 1
+        self._model_stats(name).updates.inc()
         return reports
 
     # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:
-        """Service-wide and per-model counters (JSON-able)."""
+        """Service-wide and per-model counters (JSON-able).
+
+        The historical keys are views over :attr:`metrics`; the raw
+        registry snapshot rides along under ``"metrics"`` so callers in
+        other processes (shard workers answering a ``stats`` control
+        message) can merge it into a cluster-wide snapshot.
+        """
         per_model = {name: stats.as_dict() for name, stats in self._stats.items()}
         kernels = {
             name: kernel.describe()
@@ -502,8 +563,9 @@ class EstimationService:
             "kernels": kernels,
             "cache": self.cache.stats(),
             "per_model": per_model,
-            "total_requests": sum(stats.requests for stats in self._stats.values()),
-            "total_batches": sum(stats.batches for stats in self._stats.values()),
+            "total_requests": sum(int(stats.requests.value) for stats in self._stats.values()),
+            "total_batches": sum(int(stats.batches.value) for stats in self._stats.values()),
+            "metrics": self.metrics.snapshot().as_dict(),
         }
 
 
