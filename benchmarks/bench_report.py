@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Render the aggregate performance trajectory from committed BENCH_*.json.
+
+Thin wrapper over :mod:`repro.bench_report` (also exposed as the
+``repro bench-report`` CLI subcommand)::
+
+    python benchmarks/bench_report.py [--root REPO_DIR] [--output OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench_report import bench_report  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="directory holding the BENCH_*.json artifacts (default: repo root)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="also write the merged reports as JSON"
+    )
+    args = parser.parse_args()
+    print(bench_report(args.root, output=args.output))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

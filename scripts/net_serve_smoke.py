@@ -186,6 +186,14 @@ def main() -> None:
             _fail(proc, "shard-labeled histogram series missing from /metrics")
         if "repro_cache_hit_rate" not in metrics:
             _fail(proc, "cache hit-rate gauge missing from /metrics")
+        cache_byte_lines = [
+            line for line in metrics.splitlines()
+            if line.startswith("repro_cache_bytes{")
+        ]
+        if not cache_byte_lines or all(
+            float(line.rsplit(" ", 1)[1]) <= 0 for line in cache_byte_lines
+        ):
+            _fail(proc, f"per-shard cache byte accounting missing: {cache_byte_lines}")
         up_lines = [
             line for line in metrics.splitlines()
             if line.startswith('repro_autoscaler_decisions_total{outcome="up"}')

@@ -402,10 +402,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="quick CI mode: small batches and few repeats (parity is always asserted)",
     )
     infer_parser.add_argument(
+        "--dtype",
+        default="float64",
+        help="comma-separated precision tiers to benchmark "
+        "(float64, float32, float16, int8); each is gated on its own budget",
+    )
+    infer_parser.add_argument(
         "--max-deviation",
         type=float,
-        default=1e-12,
-        help="largest tolerated |compiled - graph| estimate deviation",
+        default=None,
+        help="override every tier's deviation budget (float64: absolute "
+        "|compiled - graph|; other tiers: relative to the graph answer). "
+        "Default: each tier's committed budget from repro.inference.precision",
     )
 
     oracle_parser = subparsers.add_parser(
@@ -562,6 +570,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="scale shards elastically on queue pressure",
     )
+    serve_parser.add_argument(
+        "--kernel-dtype",
+        choices=("float64", "float32", "float16", "int8"),
+        default=None,
+        help="compiled-kernel precision tier inside every shard (default: float64)",
+    )
+    serve_parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="byte budget for each shard's curve cache (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--cache-quantize-bits",
+        type=int,
+        choices=(8, 16),
+        default=None,
+        help="store cached curves quantized to this many bits per control point",
+    )
+    serve_parser.add_argument(
+        "--shm-dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="wire dtype for shared-memory batch payloads (float32 halves them)",
+    )
     serve_parser.add_argument("--min-shards", type=int, default=1)
     serve_parser.add_argument("--max-shards", type=int, default=4)
     serve_parser.add_argument(
@@ -646,6 +680,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the shm-vs-pickle transport micro-benchmark",
     )
     saturate_parser.add_argument(
+        "--no-cache-density",
+        action="store_true",
+        help="skip the quantized-vs-full curve-cache density comparison",
+    )
+    saturate_parser.add_argument(
+        "--cache-density-bytes",
+        type=int,
+        default=256 * 1024,
+        metavar="BYTES",
+        help="byte budget both caches share in the density comparison",
+    )
+    saturate_parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -656,6 +702,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.01,
         help="fraction of traces to record (default: 0.01 — saturation is high-volume)",
+    )
+
+    bench_report_parser = subparsers.add_parser(
+        "bench-report",
+        help="aggregate every committed BENCH_*.json into one trajectory table",
+    )
+    bench_report_parser.add_argument(
+        "--root",
+        default=".",
+        help="directory holding the BENCH_*.json artifacts (default: cwd)",
+    )
+    bench_report_parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the merged reports as one JSON document",
     )
     return parser
 
@@ -1142,7 +1203,13 @@ def _cmd_serve_bench(args) -> int:
 
 def _cmd_infer_bench(args) -> int:
     from .estimator import SelectivityEstimator
-    from .inference import InferenceBenchmarkReport, run_inference_benchmark, write_benchmark_json
+    from .inference import (
+        InferenceBenchmarkReport,
+        error_budget,
+        parse_tier,
+        run_inference_benchmark,
+        write_benchmark_json,
+    )
 
     if args.smoke:
         batch_sizes = (1, 64)
@@ -1154,12 +1221,21 @@ def _cmd_infer_bench(args) -> int:
             raise SystemExit(f"--batch-sizes expects comma-separated integers, got {args.batch_sizes!r}")
         repeats, warmup = args.repeats, args.warmup
 
+    tier_tokens = [token.strip() for token in args.dtype.split(",") if token.strip()]
+    try:
+        tiers = [parse_tier(token).name for token in tier_tokens]
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if not tiers:
+        raise SystemExit("--dtype names no precision tier")
+
     report = InferenceBenchmarkReport(
         metadata={
             "batch_sizes": list(batch_sizes),
             "pool": args.pool,
             "seed": args.seed,
             "smoke": bool(args.smoke),
+            "dtypes": tiers,
             "models": {},
         }
     )
@@ -1176,6 +1252,7 @@ def _cmd_infer_bench(args) -> int:
             repeats=repeats,
             warmup=warmup,
             seed=args.seed,
+            dtypes=tiers,
         )
         report.rows.extend(partial.rows)
         report.metadata["models"][model_path.name] = _recorded_training(model_path)
@@ -1186,13 +1263,25 @@ def _cmd_infer_bench(args) -> int:
     if args.output:
         path = write_benchmark_json(report, args.output)
         print(f"wrote {path}")
-    deviation = report.max_deviation()
-    if deviation > args.max_deviation:
-        raise SystemExit(
-            f"parity failure: max |compiled - graph| = {deviation:.3e} "
-            f"exceeds --max-deviation {args.max_deviation:.1e}"
-        )
-    print(f"parity: max |compiled - graph| = {deviation:.3e} (<= {args.max_deviation:.1e})")
+    # The per-tier budget gate: float64 answers must match the graph to the
+    # absolute bit-parity bound, narrower tiers to their relative budgets.
+    failures = []
+    for tier in tiers:
+        budget = args.max_deviation if args.max_deviation is not None else error_budget(tier)
+        if tier == "float64":
+            deviation = report.max_deviation("float64")
+            line = f"parity: max |compiled - graph| = {deviation:.3e} (<= {budget:.1e})"
+        else:
+            deviation = report.max_relative_deviation(tier)
+            line = f"parity[{tier}]: max relative deviation = {deviation:.3e} (<= {budget:.1e})"
+        if deviation > budget:
+            failures.append(
+                f"{tier}: deviation {deviation:.3e} exceeds budget {budget:.1e}"
+            )
+        else:
+            print(line)
+    if failures:
+        raise SystemExit("parity failure: " + "; ".join(failures))
     return 0
 
 
@@ -1354,6 +1443,10 @@ def _cmd_serve(args) -> int:
         autoscale=args.autoscale,
         min_shards=args.min_shards,
         max_shards=args.max_shards,
+        kernel_dtype=args.kernel_dtype,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_quantize_bits=args.cache_quantize_bits,
+        shm_dtype=args.shm_dtype,
     )
     with server:
         host, port = server.http_address
@@ -1364,6 +1457,22 @@ def _cmd_serve(args) -> int:
             print(f"  binary protocol   : {bhost}:{bport}", flush=True)
         print(f"  backend / shards  : {args.backend} x {args.shards}"
               + (f" (autoscale {args.min_shards}-{args.max_shards})" if args.autoscale else ""))
+        if (
+            args.kernel_dtype
+            or args.cache_max_bytes
+            or args.cache_quantize_bits
+            or args.shm_dtype != "float64"
+        ):
+            print(
+                f"  precision         : kernel={args.kernel_dtype or 'float64'} "
+                f"shm={args.shm_dtype} "
+                f"cache_max_bytes={args.cache_max_bytes or 'unbounded'}"
+                + (
+                    f" cache_quantize_bits={args.cache_quantize_bits}"
+                    if args.cache_quantize_bits
+                    else ""
+                )
+            )
         print(f"  models            : {', '.join(models) if models else '(none found)'}")
         if args.trace_out:
             print(f"  tracing           : {args.trace_out} (sample {args.trace_sample:g})")
@@ -1455,11 +1564,53 @@ def _cmd_saturate(args) -> int:
         },
         "scenarios": [dataclasses.asdict(report) for report in reports],
     }
+    estimator = None
+    if not args.no_cache_density:
+        from .net.saturate import cache_density_compare
+        from .persistence import load_estimator
+
+        estimator = load_estimator(model_path)
+        density = cache_density_compare(
+            estimator,
+            model_name,
+            queries,
+            thresholds,
+            max_bytes=args.cache_density_bytes,
+            max_queries=400 if args.smoke else 1500,
+        )
+        payload["cache_density"] = density
+        print(
+            f"cache density (max_bytes={density['max_bytes']}, "
+            f"{density['curve_resolution']}-pt curves, uint{density['quantize_bits']}):"
+        )
+        print(
+            f"  full float64 cache: {density['full']['cached_curves']:>6} curves "
+            f"({density['full']['curves_per_mb']:.0f} curves/MB)"
+        )
+        print(
+            f"  quantized cache   : {density['quantized']['cached_curves']:>6} curves "
+            f"({density['quantized']['curves_per_mb']:.0f} curves/MB) -> "
+            f"{density['density_ratio']:.1f}x density"
+        )
+        print(
+            f"  served deviation  : {density['max_rel_deviation_vs_full_cache']:.2e} "
+            f"relative vs full-precision cache "
+            f"(budget {density['error_budget']:.0e}, "
+            f"{'OK' if density['within_budget'] else 'EXCEEDED'})"
+        )
+        if not density["within_budget"]:
+            raise SystemExit(
+                "cache-density parity failure: quantized cache deviates "
+                f"{density['max_rel_deviation_vs_full_cache']:.3e} from the "
+                f"full-precision cache (budget {density['error_budget']:.1e})"
+            )
     if not args.no_transport_compare:
         from .persistence import load_estimator
 
+        if estimator is None:
+            estimator = load_estimator(model_path)
         compare = transport_roundtrip_compare(
-            load_estimator(model_path),
+            estimator,
             model_name,
             queries,
             thresholds,
@@ -1484,6 +1635,13 @@ def _cmd_saturate(args) -> int:
         spans = read_trace_file(args.trace_out)
         traces = {span.get("trace_id") for span in spans}
         print(f"traces: {len(spans)} spans across {len(traces)} traces -> {args.trace_out}")
+    return 0
+
+
+def _cmd_bench_report(args) -> int:
+    from .bench_report import bench_report
+
+    print(bench_report(args.root, output=args.output))
     return 0
 
 
@@ -1563,6 +1721,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_saturate(args)
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "bench-report":
+        return _cmd_bench_report(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2

@@ -97,14 +97,38 @@ class ClusterConfig:
     cache_key_decimals: int = DEFAULT_KEY_DECIMALS
     #: serve through compiled inference kernels inside every shard's service
     use_compiled: bool = True
+    #: compiled-kernel precision tier per shard (float64/float32/float16/int8;
+    #: None = float64) — see :mod:`repro.inference.precision`
+    kernel_dtype: Optional[str] = None
+    #: byte budget for each shard's curve cache (None = unbounded)
+    cache_max_bytes: Optional[int] = None
+    #: quantize cached curves to 8/16-bit codes (None = full float64)
+    cache_quantize_bits: Optional[int] = None
     #: ``network`` backend: bytes per shared-memory transport slot
     shm_slot_bytes: int = 1 << 20
+    #: ``network`` backend: wire dtype for query/threshold batch payloads
+    #: ("float64" or "float32"; results always come back float64)
+    shm_dtype: str = "float64"
     #: ``network`` backend: preload disk-backed models at shard spawn
     warm_models: bool = True
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
             raise ValueError("num_shards must be at least 1")
+        if self.shm_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"shm_dtype must be 'float64' or 'float32', got {self.shm_dtype!r}"
+            )
+        if self.kernel_dtype is not None:
+            # Fail here, in the coordinating process, rather than inside a
+            # spawned shard worker where the traceback is much less helpful.
+            from ..inference.precision import parse_tier
+
+            parse_tier(self.kernel_dtype)
+        if self.cache_quantize_bits not in (None, 8, 16):
+            raise ValueError(
+                f"cache_quantize_bits must be None, 8 or 16, got {self.cache_quantize_bits!r}"
+            )
         if _resolve_backend(self.backend) is None:
             raise ValueError(f"unknown backend {self.backend!r}; available: {sorted(BACKENDS)}")
         if self.overload_policy not in OVERLOAD_POLICIES:

@@ -38,6 +38,16 @@ from .kernels import (
     piecewise_linear_batch,
     piecewise_linear_grid,
 )
+from .precision import (
+    DEFAULT_ERROR_BUDGETS,
+    Precision,
+    error_budget,
+    parse_tier,
+    quantize_values,
+    dequantize_values,
+    relative_deviation,
+    resolve_precision,
+)
 
 __all__ = [
     "compile_estimator",
@@ -52,4 +62,12 @@ __all__ = [
     "InferenceBenchmarkReport",
     "run_inference_benchmark",
     "write_benchmark_json",
+    "DEFAULT_ERROR_BUDGETS",
+    "Precision",
+    "error_budget",
+    "parse_tier",
+    "quantize_values",
+    "dequantize_values",
+    "relative_deviation",
+    "resolve_precision",
 ]

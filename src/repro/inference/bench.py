@@ -39,7 +39,7 @@ DEFAULT_BATCH_SIZES = (1, 16, 256, 2048)
 
 @dataclass
 class InferenceBenchmarkRow:
-    """One (estimator, batch size) measurement."""
+    """One (estimator, precision tier, batch size) measurement."""
 
     estimator: str
     kernel_kind: str
@@ -53,6 +53,10 @@ class InferenceBenchmarkRow:
     compiled_rows_per_second: float
     speedup: float
     max_abs_deviation: float
+    #: precision tier the compiled arm ran at
+    dtype: str = "float64"
+    #: max deviation relative to the graph answer (scale ``max(|ref|, 1)``)
+    max_rel_deviation: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return dict(self.__dict__)
@@ -65,16 +69,46 @@ class InferenceBenchmarkReport:
     rows: List[InferenceBenchmarkRow] = field(default_factory=list)
     metadata: Dict[str, Any] = field(default_factory=dict)
 
-    def max_deviation(self) -> float:
-        return max((row.max_abs_deviation for row in self.rows), default=0.0)
+    def max_deviation(self, dtype: Optional[str] = None) -> float:
+        """Max *absolute* deviation, optionally restricted to one tier."""
+        return max(
+            (
+                row.max_abs_deviation
+                for row in self.rows
+                if dtype is None or row.dtype == dtype
+            ),
+            default=0.0,
+        )
 
-    def speedup_for(self, estimator: str, batch_size: Optional[int] = None) -> float:
-        """Best speedup for an estimator (optionally at one batch size)."""
+    def max_relative_deviation(self, dtype: Optional[str] = None) -> float:
+        """Max relative deviation, optionally restricted to one tier."""
+        return max(
+            (
+                row.max_rel_deviation
+                for row in self.rows
+                if dtype is None or row.dtype == dtype
+            ),
+            default=0.0,
+        )
+
+    def dtypes(self) -> List[str]:
+        """The precision tiers present, in first-seen order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row.dtype not in seen:
+                seen.append(row.dtype)
+        return seen
+
+    def speedup_for(
+        self, estimator: str, batch_size: Optional[int] = None, dtype: Optional[str] = None
+    ) -> float:
+        """Best speedup for an estimator (optionally at one batch size / tier)."""
         candidates = [
             row.speedup
             for row in self.rows
             if row.estimator == estimator
             and (batch_size is None or row.batch_size == batch_size)
+            and (dtype is None or row.dtype == dtype)
         ]
         if not candidates:
             raise KeyError(f"no benchmark rows for estimator {estimator!r}")
@@ -91,16 +125,16 @@ class InferenceBenchmarkReport:
     def text(self) -> str:
         lines = [
             "infer-bench: compiled (pure-NumPy kernel) vs graph (autodiff forward)",
-            f"{'estimator':<14} {'kernel':<20} {'batch':>6} "
+            f"{'estimator':<14} {'kernel':<20} {'dtype':<8} {'batch':>6} "
             f"{'graph p50/p99 ms':>18} {'compiled p50/p99 ms':>20} "
-            f"{'speedup':>8} {'max |dev|':>10}",
+            f"{'speedup':>8} {'max |dev|':>10} {'rel dev':>9}",
         ]
         for row in self.rows:
             lines.append(
-                f"{row.estimator:<14} {row.kernel_kind:<20} {row.batch_size:>6} "
+                f"{row.estimator:<14} {row.kernel_kind:<20} {row.dtype:<8} {row.batch_size:>6} "
                 f"{row.graph_p50_ms:>8.3f} /{row.graph_p99_ms:>8.3f} "
                 f"{row.compiled_p50_ms:>9.3f} /{row.compiled_p99_ms:>8.3f} "
-                f"{row.speedup:>7.2f}x {row.max_abs_deviation:>10.2e}"
+                f"{row.speedup:>7.2f}x {row.max_abs_deviation:>10.2e} {row.max_rel_deviation:>9.2e}"
             )
         return "\n".join(lines)
 
@@ -171,62 +205,90 @@ def run_inference_benchmark(
     warmup: int = 3,
     seed: int = 0,
     metadata: Optional[Dict[str, Any]] = None,
+    dtypes: Sequence[str] = ("float64",),
 ) -> InferenceBenchmarkReport:
     """Measure compiled vs graph inference for named fitted estimators.
 
     ``queries`` / ``thresholds`` form the request pool; each batch is drawn
     from it with a seeded generator (wrapping around when the pool is
-    smaller than the batch).
+    smaller than the batch).  ``dtypes`` names the precision tiers to
+    compile (``float64``/``float32``/``float16``/``int8`` — see
+    :mod:`repro.inference.precision`); the graph arm is timed once per
+    batch and shared across tiers, and every tier's deviations are measured
+    against the same float64 graph answers.
     """
+    from .compiler import compile_estimator
+    from .precision import parse_tier, relative_deviation
+
     queries = np.asarray(queries, dtype=np.float64)
     thresholds = np.asarray(thresholds, dtype=np.float64)
     if len(queries) == 0:
         raise ValueError("the request pool is empty")
+    tiers = [parse_tier(token) for token in dtypes]
+    if not tiers:
+        raise ValueError("at least one precision tier is required")
     rng = np.random.default_rng(seed)
 
     report = InferenceBenchmarkReport(metadata=dict(metadata or {}))
     report.metadata.setdefault("repeats", repeats)
     report.metadata.setdefault("warmup", warmup)
     report.metadata.setdefault("pool_size", int(len(thresholds)))
+    report.metadata.setdefault("dtypes", [tier.name for tier in tiers])
 
     for name, estimator in estimators.items():
-        kernel = estimator.compiled()
+        # Compiled directly (not through estimator.compiled()) so the
+        # estimator's single-slot kernel cache is not thrashed per tier.
+        kernels = [
+            (
+                tier,
+                compile_estimator(
+                    estimator, dtype=tier.storage_dtype, quantize=tier.quantize
+                ),
+            )
+            for tier in tiers
+        ]
         for batch_size in batch_sizes:
             index = rng.integers(0, len(thresholds), size=int(batch_size))
             batch_queries = np.ascontiguousarray(queries[index])
             batch_thresholds = np.ascontiguousarray(thresholds[index])
 
             graph_arm = _graph_arm(estimator, batch_queries, batch_thresholds)
-
-            def compiled_arm():
-                return kernel.predict(batch_queries, batch_thresholds)
-
-            deviation = float(
-                np.max(np.abs(np.asarray(graph_arm()) - np.asarray(compiled_arm())))
-            )
+            reference = np.asarray(graph_arm(), dtype=np.float64)
             graph_latencies = _time_arm(graph_arm, repeats, warmup)
-            compiled_latencies = _time_arm(compiled_arm, repeats, warmup)
-
             graph_mean = float(np.mean(graph_latencies))
-            compiled_mean = float(np.mean(compiled_latencies))
-            report.rows.append(
-                InferenceBenchmarkRow(
-                    estimator=name,
-                    kernel_kind=kernel.kind,
-                    batch_size=int(batch_size),
-                    repeats=repeats,
-                    graph_p50_ms=_percentile_ms(graph_latencies, 50),
-                    graph_p99_ms=_percentile_ms(graph_latencies, 99),
-                    graph_rows_per_second=batch_size / graph_mean if graph_mean else float("inf"),
-                    compiled_p50_ms=_percentile_ms(compiled_latencies, 50),
-                    compiled_p99_ms=_percentile_ms(compiled_latencies, 99),
-                    compiled_rows_per_second=(
-                        batch_size / compiled_mean if compiled_mean else float("inf")
-                    ),
-                    speedup=graph_mean / compiled_mean if compiled_mean else float("inf"),
-                    max_abs_deviation=deviation,
+
+            for tier, kernel in kernels:
+
+                def compiled_arm():
+                    return kernel.predict(batch_queries, batch_thresholds)
+
+                estimates = np.asarray(compiled_arm(), dtype=np.float64)
+                deviation = float(np.max(np.abs(reference - estimates)))
+                rel_deviation = relative_deviation(estimates, reference)
+                compiled_latencies = _time_arm(compiled_arm, repeats, warmup)
+                compiled_mean = float(np.mean(compiled_latencies))
+                report.rows.append(
+                    InferenceBenchmarkRow(
+                        estimator=name,
+                        kernel_kind=kernel.kind,
+                        batch_size=int(batch_size),
+                        repeats=repeats,
+                        graph_p50_ms=_percentile_ms(graph_latencies, 50),
+                        graph_p99_ms=_percentile_ms(graph_latencies, 99),
+                        graph_rows_per_second=(
+                            batch_size / graph_mean if graph_mean else float("inf")
+                        ),
+                        compiled_p50_ms=_percentile_ms(compiled_latencies, 50),
+                        compiled_p99_ms=_percentile_ms(compiled_latencies, 99),
+                        compiled_rows_per_second=(
+                            batch_size / compiled_mean if compiled_mean else float("inf")
+                        ),
+                        speedup=graph_mean / compiled_mean if compiled_mean else float("inf"),
+                        max_abs_deviation=deviation,
+                        dtype=tier.name,
+                        max_rel_deviation=rel_deviation,
+                    )
                 )
-            )
     return report
 
 

@@ -39,6 +39,7 @@ from ..autodiff import no_grad, segment_upper_indices
 from ..autodiff.functional import norm_l2_squared  # noqa: F401  (doc cross-ref)
 from ..nn import Linear, Module, Sequential
 from ..nn.layers import ReLU, Sigmoid, Softplus, Tanh
+from .precision import Precision, fake_quantize, resolve_precision
 
 #: epsilon of the Norm_l2 squared-normalisation (matches
 #: :func:`repro.autodiff.norm_l2_squared`'s default, which SelNet uses)
@@ -68,24 +69,40 @@ class FusedFeedForward:
     the tape overhead.
     """
 
-    __slots__ = ("layers", "dtype")
+    __slots__ = ("layers", "dtype", "compute_dtype", "quantize")
 
-    def __init__(self, layers: List[Tuple[np.ndarray, Optional[np.ndarray], Optional[str]]], dtype) -> None:
+    def __init__(
+        self,
+        layers: List[Tuple[np.ndarray, Optional[np.ndarray], Optional[str]]],
+        dtype,
+        compute_dtype=None,
+        quantize: Optional[str] = None,
+    ) -> None:
         self.layers = layers
         self.dtype = np.dtype(dtype)
+        self.compute_dtype = np.dtype(compute_dtype) if compute_dtype is not None else self.dtype
+        self.quantize = quantize
 
     @classmethod
-    def from_sequential(cls, network: Sequential, dtype=np.float64) -> "FusedFeedForward":
-        """Extract ``(weight, bias, activation)`` triples from a Sequential."""
-        dtype = np.dtype(dtype)
+    def from_sequential(
+        cls, network: Sequential, dtype=np.float64, quantize: Optional[str] = None
+    ) -> "FusedFeedForward":
+        """Extract ``(weight, bias, activation)`` triples from a Sequential.
+
+        ``dtype`` is the *storage* precision of the frozen weights; the
+        compute precision follows the tier (float16 weights promote to
+        float32 inside matmuls).  ``quantize="int8"`` fake-quantizes each
+        weight per output channel at freeze time.
+        """
+        spec = resolve_precision(dtype=dtype, quantize=quantize)
         layers: List[Tuple[np.ndarray, Optional[np.ndarray], Optional[str]]] = []
         for module in network:
             if isinstance(module, Linear):
-                weight = np.ascontiguousarray(module.weight.data, dtype=dtype)
+                weight = np.ascontiguousarray(module.weight.data, dtype=spec.storage_dtype)
                 bias = (
                     None
                     if module.bias is None
-                    else np.ascontiguousarray(module.bias.data, dtype=dtype)
+                    else np.ascontiguousarray(module.bias.data, dtype=spec.storage_dtype)
                 )
                 layers.append((weight, bias, None))
             elif type(module) in _ACTIVATIONS:
@@ -103,7 +120,24 @@ class FusedFeedForward:
                 )
         if not layers:
             raise KernelCompilationError("cannot freeze an empty network")
-        return cls(layers, dtype)
+        if spec.quantize is not None:
+            # Standard int8 deployment practice: hidden layers (the
+            # parameter bulk) carry the quantized codes, the *last* linear
+            # stays full precision — its outputs are the network's answer,
+            # so its rounding error would reach the estimate unamplified.
+            layers = [
+                (
+                    fake_quantize(weight, spec.quantize, dtype=spec.storage_dtype)
+                    if index < len(layers) - 1
+                    else weight,
+                    bias,
+                    activation,
+                )
+                for index, (weight, bias, activation) in enumerate(layers)
+            ]
+        return cls(
+            layers, spec.storage_dtype, compute_dtype=spec.compute_dtype, quantize=spec.quantize
+        )
 
     @property
     def num_parameters(self) -> int:
@@ -112,6 +146,10 @@ class FusedFeedForward:
         )
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.dtype != self.compute_dtype:
+            # Mixed-precision entry: inputs run at compute precision and
+            # narrower stored weights promote inside the matmul.
+            x = x.astype(self.compute_dtype)
         for weight, bias, activation in self.layers:
             x = x @ weight
             if bias is not None:
@@ -183,25 +221,41 @@ def piecewise_linear_grid(tau: np.ndarray, p: np.ndarray, grid: np.ndarray) -> n
 class CompiledControlPointHead:
     """Frozen τ- and p-generators of one :class:`~repro.core.SelNetModel`."""
 
-    def __init__(self, model, dtype=np.float64) -> None:
-        dtype = np.dtype(dtype)
+    def __init__(self, model, dtype=np.float64, quantize: Optional[str] = None) -> None:
+        spec = resolve_precision(dtype=dtype, quantize=quantize)
         head = model.head
         tau_generator = head.tau_generator
         p_generator = head.p_generator
-        self.dtype = dtype
+        self.dtype = spec.storage_dtype
+        self.compute_dtype = spec.compute_dtype
+        self.quantize = spec.quantize
         self.t_max = float(tau_generator.t_max)
         self.query_dependent_tau = bool(tau_generator.query_dependent)
-        self.tau_network = FusedFeedForward.from_sequential(tau_generator.network, dtype)
-        self.p_encoder = FusedFeedForward.from_sequential(p_generator.encoder, dtype)
+        # The τ-generator defines the curve's segment boundaries through a
+        # squared-normalisation + prefix sum, so weight rounding there is
+        # amplified by curve steepness — and it holds few parameters.  It
+        # stays full precision under int8; the byte savings live in the
+        # p-encoder and autoencoder hidden layers.
+        self.tau_network = FusedFeedForward.from_sequential(
+            tau_generator.network, spec.storage_dtype, quantize=None
+        )
+        self.p_encoder = FusedFeedForward.from_sequential(
+            p_generator.encoder, spec.storage_dtype, quantize=spec.quantize
+        )
         self.embedding_dim = int(p_generator.embedding_dim)
         self.num_outputs = int(p_generator.num_outputs)
         # Stack the per-point decoders into one (L+2, emb, 1) batched matmul
         # operand: np.matmul evaluates every decoder's slice in one call,
         # with per-slice results bit-equal to the graph-mode per-decoder
         # ``h_i @ W_i`` products.
+        decoder_weights = np.stack(
+            [decoder.weight.data for decoder in p_generator.decoders], axis=0
+        )
+        # The per-point decoders are the head's final layer (emb x 1 each —
+        # a negligible share of the bytes, all of the output sensitivity),
+        # so like every last linear they stay unquantized under int8.
         self.decoder_weights = np.ascontiguousarray(
-            np.stack([decoder.weight.data for decoder in p_generator.decoders], axis=0),
-            dtype=dtype,
+            decoder_weights, dtype=spec.storage_dtype
         )
         self.decoder_biases = np.ascontiguousarray(
             np.stack(
@@ -211,7 +265,7 @@ class CompiledControlPointHead:
                 ],
                 axis=0,
             ),
-            dtype=dtype,
+            dtype=spec.storage_dtype,
         )[:, None, :]
 
     @property
@@ -263,7 +317,22 @@ class CompiledKernel:
     #: fused path); False when each grid point is a full estimator row.
     fuses_curves: bool = False
 
+    #: storage precision of the frozen weights
     dtype: np.dtype = np.dtype(np.float64)
+    #: precision the forward arithmetic runs at (float16 promotes to f32)
+    compute_dtype: np.dtype = np.dtype(np.float64)
+    #: weight-quantization mode, or None for plain floating point
+    quantize: Optional[str] = None
+    #: tier name (``float64``/``float32``/``float16``/``int8``)
+    precision: str = "float64"
+
+    def _resolve_precision(self, dtype, quantize: Optional[str]) -> Precision:
+        spec = resolve_precision(dtype=dtype, quantize=quantize)
+        self.dtype = spec.storage_dtype
+        self.compute_dtype = spec.compute_dtype
+        self.quantize = spec.quantize
+        self.precision = spec.name
+        return spec
 
     def predict(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
         """Non-negative selectivity estimates for aligned (query, t) pairs."""
@@ -274,7 +343,14 @@ class CompiledKernel:
         raise NotImplementedError
 
     def describe(self) -> dict:
-        return {"kind": self.kind, "dtype": str(self.dtype), "fuses_curves": self.fuses_curves}
+        return {
+            "kind": self.kind,
+            "dtype": str(self.dtype),
+            "compute_dtype": str(self.compute_dtype),
+            "quantize": self.quantize,
+            "precision": self.precision,
+            "fuses_curves": self.fuses_curves,
+        }
 
 
 class CompiledSelNet(CompiledKernel):
@@ -283,11 +359,13 @@ class CompiledSelNet(CompiledKernel):
     kind = "selnet"
     fuses_curves = True
 
-    def __init__(self, model, dtype=np.float64) -> None:
-        self.dtype = np.dtype(dtype)
+    def __init__(self, model, dtype=np.float64, quantize: Optional[str] = None) -> None:
+        spec = self._resolve_precision(dtype, quantize)
         self.input_dim = int(model.input_dim)
-        self.encoder = FusedFeedForward.from_sequential(model.autoencoder.encoder, self.dtype)
-        self.head = CompiledControlPointHead(model, self.dtype)
+        self.encoder = FusedFeedForward.from_sequential(
+            model.autoencoder.encoder, spec.storage_dtype, quantize=spec.quantize
+        )
+        self.head = CompiledControlPointHead(model, spec.storage_dtype, quantize=spec.quantize)
         self.t_max = self.head.t_max
 
     @property
@@ -295,7 +373,7 @@ class CompiledSelNet(CompiledKernel):
         return self.encoder.num_parameters + self.head.num_parameters
 
     def _augment(self, queries: np.ndarray) -> np.ndarray:
-        queries = np.ascontiguousarray(queries, dtype=self.dtype)
+        queries = np.ascontiguousarray(queries, dtype=self.compute_dtype)
         if queries.ndim != 2:
             raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
         latent = self.encoder(queries)
@@ -305,7 +383,7 @@ class CompiledSelNet(CompiledKernel):
         return self.head.control_points(self._augment(queries))
 
     def predict(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
-        thresholds = np.asarray(thresholds, dtype=self.dtype)
+        thresholds = np.asarray(thresholds, dtype=self.compute_dtype)
         tau, p = self.control_points(queries)
         output = piecewise_linear_batch(tau, p, thresholds)
         return np.clip(output, 0.0, None)
@@ -332,13 +410,18 @@ class CompiledPartitionedSelNet(CompiledKernel):
     kind = "selnet-partitioned"
     fuses_curves = True
 
-    def __init__(self, model, dtype=np.float64) -> None:
-        self.dtype = np.dtype(dtype)
+    def __init__(self, model, dtype=np.float64, quantize: Optional[str] = None) -> None:
+        spec = self._resolve_precision(dtype, quantize)
         self.input_dim = int(model.input_dim)
         self.t_max = float(model.t_max)
         self.partitioning = model.partitioning
-        self.encoder = FusedFeedForward.from_sequential(model.autoencoder.encoder, self.dtype)
-        self.heads = [CompiledControlPointHead(local, self.dtype) for local in model.local_models]
+        self.encoder = FusedFeedForward.from_sequential(
+            model.autoencoder.encoder, spec.storage_dtype, quantize=spec.quantize
+        )
+        self.heads = [
+            CompiledControlPointHead(local, spec.storage_dtype, quantize=spec.quantize)
+            for local in model.local_models
+        ]
 
     @property
     def num_partitions(self) -> int:
@@ -349,7 +432,7 @@ class CompiledPartitionedSelNet(CompiledKernel):
         return self.encoder.num_parameters + sum(head.num_parameters for head in self.heads)
 
     def _augment(self, queries: np.ndarray) -> np.ndarray:
-        queries = np.ascontiguousarray(queries, dtype=self.dtype)
+        queries = np.ascontiguousarray(queries, dtype=self.compute_dtype)
         if queries.ndim != 2:
             raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
         latent = self.encoder(queries)
@@ -364,13 +447,13 @@ class CompiledPartitionedSelNet(CompiledKernel):
 
     def predict(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
         queries = np.asarray(queries, dtype=np.float64)
-        thresholds = np.asarray(thresholds, dtype=self.dtype)
+        thresholds = np.asarray(thresholds, dtype=self.compute_dtype)
         batch = len(queries)
         indicators = self.partitioning.indicator_batch(queries, thresholds)
         augmented = self._augment(queries)
         # Accumulating in partition order keeps the summation order — and
         # therefore the bits — of the graph-mode indicator-weighted sum.
-        output = np.zeros(batch, dtype=self.dtype)
+        output = np.zeros(batch, dtype=self.compute_dtype)
         for k, head in enumerate(self.heads):
             if not np.any(indicators[:, k]):
                 # No query ball in the batch intersects this partition: its
@@ -385,7 +468,7 @@ class CompiledPartitionedSelNet(CompiledKernel):
 
     def curve_values(self, queries: np.ndarray, grid: np.ndarray) -> np.ndarray:
         queries = np.asarray(queries, dtype=np.float64)
-        grid = np.asarray(grid, dtype=self.dtype)
+        grid = np.asarray(grid, dtype=self.compute_dtype)
         n, num_grid = len(queries), len(grid)
         locals_ = self.local_control_points(queries)
         # One (n, K, G) stack of per-partition curves, one indicator batch for
@@ -418,8 +501,10 @@ class GraphFallbackKernel(CompiledKernel):
     kind = "graph-fallback"
     fuses_curves = False
 
-    def __init__(self, estimator, dtype=np.float64) -> None:
-        self.dtype = np.dtype(dtype)
+    def __init__(self, estimator, dtype=np.float64, quantize: Optional[str] = None) -> None:
+        # The fallback records the requested tier but always computes at the
+        # estimator's own (float64) precision — its deviation is zero.
+        self._resolve_precision(dtype, quantize)
         self._estimator = estimator
 
     def predict(self, queries: np.ndarray, thresholds: np.ndarray) -> np.ndarray:

@@ -1,0 +1,210 @@
+"""Precision tiers for compiled inference kernels.
+
+A *precision tier* names one (storage dtype, compute dtype, quantization)
+combination together with the error budget the parity gate enforces for it:
+
+``float64``
+    Weights and arithmetic in double precision — bit-equal to the autodiff
+    graph forward; the budget is the seed's absolute parity bound.
+``float32``
+    Weights and arithmetic in single precision.  Matmuls dispatch to BLAS
+    ``sgemm`` on half the bytes, which is where the batch-throughput win
+    comes from; estimates agree with graph mode to single precision.
+``float16``
+    Weights *stored* in half precision (half the resident model bytes) with
+    float32 arithmetic — NumPy has no BLAS half-precision matmul, so the
+    weights promote to float32 inside the kernel.  The budget covers the
+    storage rounding.
+``int8``
+    Hidden-layer weights fake-quantized at freeze time: per-output-channel
+    symmetric int8 codes, dequantized back to float32 once for compute
+    (the standard way to measure the accuracy an int8 deployment would
+    serve at — arithmetic stays float32, the values are exactly what int8
+    storage retains).  Following standard int8 practice each network's
+    *last* linear layer stays full precision: it holds a negligible share
+    of the parameters and all of the unamplified output sensitivity.
+
+The budgets are *relative* deviations against the float64 graph forward,
+``|compiled - graph| / max(|graph|, 1)`` — except float64 itself, which is
+gated on the absolute bit-parity bound.  ``repro infer-bench --dtype ...``
+fails beyond them, so a tier's accuracy claim is enforced, not aspirational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: supported weight-quantization modes (``compile_estimator(quantize=...)``)
+QUANTIZE_MODES = ("int8",)
+
+#: per-tier deviation budgets enforced by the infer-bench parity gate.
+#: float64 is absolute (bit parity); the rest are relative to the graph
+#: forward with scale ``max(|reference|, 1)``.  Chosen with ~10x headroom
+#: over deviations observed on trained SelNet models.
+DEFAULT_ERROR_BUDGETS = {
+    "float64": 1e-12,
+    "float32": 1e-3,
+    "float16": 2e-2,
+    "int8": 5e-2,
+}
+
+#: tier order used by reports (widest to narrowest)
+TIER_NAMES = ("float64", "float32", "float16", "int8")
+
+
+@dataclass(frozen=True)
+class Precision:
+    """One resolved precision tier."""
+
+    name: str
+    storage_dtype: np.dtype
+    compute_dtype: np.dtype
+    quantize: Optional[str] = None
+
+    @property
+    def budget(self) -> float:
+        return DEFAULT_ERROR_BUDGETS[self.name]
+
+    @property
+    def relative(self) -> bool:
+        """Whether the budget is a relative bound (all tiers but float64)."""
+        return self.name != "float64"
+
+
+def resolve_precision(dtype=np.float64, quantize: Optional[str] = None) -> Precision:
+    """The :class:`Precision` tier for a ``(dtype, quantize)`` request.
+
+    ``quantize`` overrides the storage story entirely: int8 codes are
+    dequantized to float32 for compute, whatever ``dtype`` was passed.
+    """
+    if quantize is not None:
+        if quantize not in QUANTIZE_MODES:
+            raise ValueError(
+                f"unknown quantize mode {quantize!r}; available: {QUANTIZE_MODES}"
+            )
+        return Precision(
+            name=quantize,
+            storage_dtype=np.dtype(np.float32),
+            compute_dtype=np.dtype(np.float32),
+            quantize=quantize,
+        )
+    dtype = np.dtype(dtype)
+    if dtype == np.dtype(np.float64):
+        return Precision("float64", dtype, dtype)
+    if dtype == np.dtype(np.float32):
+        return Precision("float32", dtype, dtype)
+    if dtype == np.dtype(np.float16):
+        # No BLAS path for half precision: store halved, compute in f32.
+        return Precision("float16", dtype, np.dtype(np.float32))
+    raise ValueError(f"unsupported kernel dtype {dtype!r}; use float64/float32/float16")
+
+
+def parse_tier(token: str) -> Precision:
+    """Resolve a CLI/config tier token (``float64``/``float32``/``float16``/``int8``)."""
+    token = str(token).strip().lower()
+    if token in QUANTIZE_MODES:
+        return resolve_precision(quantize=token)
+    try:
+        return resolve_precision(dtype=np.dtype(token))
+    except TypeError:
+        raise ValueError(
+            f"unknown precision tier {token!r}; available: {TIER_NAMES}"
+        ) from None
+
+
+def error_budget(tier: str) -> float:
+    """The enforced deviation budget for a tier name."""
+    try:
+        return DEFAULT_ERROR_BUDGETS[str(tier)]
+    except KeyError:
+        raise ValueError(
+            f"no error budget for tier {tier!r}; available: {TIER_NAMES}"
+        ) from None
+
+
+# ---------------------------------------------------------------------- #
+# Weight quantization (kernels)
+# ---------------------------------------------------------------------- #
+def quantize_symmetric(weights: np.ndarray, bits: int = 8) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-output-channel symmetric quantization of a weight array.
+
+    Channels are the last axis (a Linear's output features); each gets one
+    scale ``max|w| / (2**(bits-1) - 1)`` so zero stays exactly zero.
+    Returns ``(codes, scale)`` with int8 codes and float32 scales
+    broadcastable back over ``weights``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    levels = float(2 ** (bits - 1) - 1)
+    magnitude = np.abs(weights).max(axis=tuple(range(weights.ndim - 1)), keepdims=True)
+    scale = np.where(magnitude > 0.0, magnitude / levels, 1.0)
+    codes = np.clip(np.rint(weights / scale), -levels, levels).astype(np.int8)
+    return codes, scale.astype(np.float32)
+
+
+def dequantize_symmetric(codes: np.ndarray, scale: np.ndarray, dtype=np.float32) -> np.ndarray:
+    """Reconstruct real-valued weights from symmetric int codes."""
+    return (codes.astype(np.float32) * scale).astype(dtype)
+
+
+def fake_quantize(weights: np.ndarray, mode: str = "int8", dtype=np.float32) -> np.ndarray:
+    """Round-trip ``weights`` through the quantizer (quantize-dequantize).
+
+    The returned array holds exactly the values int8 storage retains, in a
+    compute-friendly dtype — the kernel then serves the accuracy of the
+    quantized deployment at full matmul speed.
+    """
+    if mode not in QUANTIZE_MODES:
+        raise ValueError(f"unknown quantize mode {mode!r}; available: {QUANTIZE_MODES}")
+    codes, scale = quantize_symmetric(weights, bits=8)
+    return np.ascontiguousarray(dequantize_symmetric(codes, scale, dtype=dtype))
+
+
+# ---------------------------------------------------------------------- #
+# Value quantization (curve caches)
+# ---------------------------------------------------------------------- #
+def quantize_values(values: np.ndarray, bits: int = 8) -> Tuple[np.ndarray, float, float]:
+    """Affine-quantize a value array onto ``2**bits`` levels.
+
+    Returns ``(codes, scale, offset)`` with unsigned codes such that
+    ``codes * scale + offset`` reconstructs the values to within half a
+    quantization step of the ``[min, max]`` range.  Used by the serving
+    cache to store selectivity curves at 1–2 bytes per control point.
+    """
+    if bits not in (8, 16):
+        raise ValueError(f"curve quantization supports 8 or 16 bits, got {bits}")
+    values = np.asarray(values, dtype=np.float64)
+    code_dtype = np.uint8 if bits == 8 else np.uint16
+    levels = float(2**bits - 1)
+    lo = float(values.min()) if values.size else 0.0
+    hi = float(values.max()) if values.size else 0.0
+    scale = (hi - lo) / levels
+    if scale <= 0.0:
+        # A flat curve encodes as all-zero codes with the offset carrying it.
+        return np.zeros(values.shape, dtype=code_dtype), 1.0, lo
+    codes = np.clip(np.rint((values - lo) / scale), 0.0, levels).astype(code_dtype)
+    return codes, scale, lo
+
+
+def dequantize_values(codes: np.ndarray, scale: float, offset: float) -> np.ndarray:
+    """Reconstruct a float64 value array from affine codes."""
+    return codes.astype(np.float64) * float(scale) + float(offset)
+
+
+# ---------------------------------------------------------------------- #
+# Deviation measurement (the gate's yardstick)
+# ---------------------------------------------------------------------- #
+def relative_deviation(estimates: np.ndarray, reference: np.ndarray) -> float:
+    """Max relative deviation with the parity gate's scale ``max(|ref|, 1)``.
+
+    Selectivities are counts (often large); the ``max(|ref|, 1)`` floor
+    keeps tiny absolute wobble on near-zero answers from dominating.
+    """
+    estimates = np.asarray(estimates, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if estimates.size == 0:
+        return 0.0
+    scale = np.maximum(np.abs(reference), 1.0)
+    return float(np.max(np.abs(estimates - reference) / scale))

@@ -129,6 +129,10 @@ class ServeApp:
             "uptime_seconds": time.time() - self.started_at,
             "endpoints": self.request_counts,
             "cluster": cluster_stats,
+            "cache_bytes": sum(
+                int(entry.get("cache", {}).get("bytes", 0))
+                for entry in cluster_stats.get("per_shard", [])
+            ),
             "layers": self._layer_summary(cluster_stats),
         }
         if self.autoscaler is not None:

@@ -8,7 +8,11 @@ same architecture (the same configuration / random-shape choices).
 
 from __future__ import annotations
 
+import ast
+import mmap as _mmap
 import os
+import struct
+import zipfile
 from typing import Dict, Union
 
 import numpy as np
@@ -16,6 +20,8 @@ import numpy as np
 from .module import Module
 
 PathLike = Union[str, os.PathLike]
+
+_NPY_MAGIC = b"\x93NUMPY"
 
 
 def save_state(path: PathLike, state: Dict[str, np.ndarray]) -> None:
@@ -30,10 +36,75 @@ def save_state(path: PathLike, state: Dict[str, np.ndarray]) -> None:
     np.savez(path, **state)
 
 
-def load_state(path: PathLike) -> Dict[str, np.ndarray]:
-    """Read a state dictionary written by :func:`save_state`."""
+def load_state(path: PathLike, mmap: bool = False) -> Dict[str, np.ndarray]:
+    """Read a state dictionary written by :func:`save_state`.
+
+    With ``mmap=True`` the arrays are read-only views over a memory-mapped
+    archive instead of eager heap copies: weight bytes are paged in lazily
+    on first touch and shared through the OS page cache across every
+    process loading the same artifact (shard workers warming one model
+    directory).  ``np.load`` silently ignores ``mmap_mode`` for ``.npz``,
+    so the member arrays are located by their ZIP offsets directly —
+    possible because :func:`save_state` stores members uncompressed.
+    Archives this loader cannot map (compressed members, pickled objects)
+    fall back to the eager path.
+    """
+    if mmap:
+        try:
+            return _mmap_state(path)
+        except (ValueError, OSError):  # unmappable archive: eager fallback
+            pass
     with np.load(path) as archive:
         return {name: archive[name] for name in archive.files}
+
+
+def _mmap_state(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read-only array views over the raw ``.npy`` members of an ``.npz``."""
+    with open(path, "rb") as handle:
+        mapped = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+    buffer = memoryview(mapped)
+    state: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(f"member {info.filename!r} is compressed")
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            # The central directory records where each local file header
+            # starts; the data follows the 30-byte header plus the local
+            # copies of the file name and extra field.
+            fn_len, extra_len = struct.unpack_from(
+                "<HH", buffer, info.header_offset + 26
+            )
+            start = info.header_offset + 30 + fn_len + extra_len
+            state[name] = _npy_view(buffer[start : start + info.file_size])
+    return state
+
+
+def _npy_view(member: memoryview) -> np.ndarray:
+    """A read-only array over one raw ``.npy`` member (no data copy)."""
+    if bytes(member[:6]) != _NPY_MAGIC:
+        raise ValueError("not an .npy member")
+    major = member[6]
+    if major == 1:
+        (header_len,) = struct.unpack_from("<H", member, 8)
+        data_start = 10 + header_len
+        header = bytes(member[10:data_start])
+    else:
+        (header_len,) = struct.unpack_from("<I", member, 8)
+        data_start = 12 + header_len
+        header = bytes(member[12:data_start])
+    spec = ast.literal_eval(header.decode("latin1"))
+    dtype = np.dtype(spec["descr"])
+    if dtype.hasobject:
+        raise ValueError("object arrays cannot be memory-mapped")
+    shape = tuple(spec["shape"])
+    count = int(np.prod(shape)) if shape else 1
+    flat = np.frombuffer(member, dtype=dtype, count=count, offset=data_start)
+    if spec.get("fortran_order"):
+        return flat.reshape(shape[::-1]).T
+    return flat.reshape(shape)
 
 
 def save_module(module: Module, path: PathLike) -> None:

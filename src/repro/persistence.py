@@ -157,13 +157,17 @@ def _resolve_class(dotted: str) -> type:
     return target
 
 
-def load_estimator(path: PathLike) -> SelectivityEstimator:
+def load_estimator(path: PathLike, mmap: bool = False) -> SelectivityEstimator:
     """Load an estimator saved by :func:`save_estimator`.
 
     Restores the pickled fitted state, then overwrites every network
     parameter from ``weights.npz`` (so the ``.npz`` checkpoint — the format
     shared with :func:`repro.nn.serialization.save_module` — is
-    authoritative for weights).
+    authoritative for weights).  ``mmap=True`` maps the checkpoint instead
+    of reading it eagerly: weight pages stream in on first touch and are
+    shared via the page cache when many processes load one artifact (the
+    parameters themselves still end up as private copies inside each
+    module — see :meth:`repro.nn.Module.load_state_dict`).
     """
     directory = Path(path)
     metadata = read_metadata(directory)
@@ -185,7 +189,7 @@ def load_estimator(path: PathLike) -> SelectivityEstimator:
     weights_path = directory / WEIGHTS_FILE
     if weights_path.is_file():
         grouped: Dict[str, Dict[str, np.ndarray]] = {}
-        for key, array in load_state(weights_path).items():
+        for key, array in load_state(weights_path, mmap=mmap).items():
             attribute, _, parameter_name = key.partition(_WEIGHT_KEY_SEPARATOR)
             grouped.setdefault(attribute, {})[parameter_name] = array
         for attribute, module_state in grouped.items():

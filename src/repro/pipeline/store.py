@@ -207,6 +207,18 @@ class ArtifactStore:
         name = spec_or_hash.spec_hash if isinstance(spec_or_hash, Spec) else str(spec_or_hash)
         return self.models_dir() / name
 
+    def load_model(self, spec_or_hash: Union[Spec, str], mmap: bool = True):
+        """Load a trained model straight from the store's ``train/`` namespace.
+
+        Memory-maps the weight checkpoint by default (the store is the
+        common case of many processes sharing one artifact tree, where the
+        page cache deduplicates the weight bytes); pass ``mmap=False`` to
+        read eagerly.
+        """
+        from ..persistence import load_estimator
+
+        return load_estimator(self.model_path(spec_or_hash), mmap=mmap)
+
     def _lock_for(self, key: str) -> threading.Lock:
         with self._locks_guard:
             return self._locks.setdefault(key, threading.Lock())

@@ -5,15 +5,39 @@ many thresholds — blocking plans, progressive refinement, dashboards).  A
 curve cache exploits the shape of the problem: one cached piece-wise curve
 per (model, query) answers *every* threshold for that query by linear
 interpolation, instead of one model forward pass per request.
+
+Two things keep a shard's cache dense:
+
+* **Grid interning** — every curve built by the service samples the same
+  per-model threshold grid, so the cache stores one shared grid array per
+  ``(model, grid)`` and each entry references it (and its bytes are counted
+  once).
+* **Quantized curves** — :class:`QuantizedCurve` stores the sampled values
+  as uint8/uint16 codes against the shared grid (1–2 bytes per control
+  point instead of 8), reconstructing estimates to within half a
+  quantization step of the curve's value range.  With
+  ``CurveCache(quantize_bits=8)`` every inserted curve is re-encoded on the
+  way in, so a fixed ``max_bytes`` budget holds roughly 8–12x more distinct
+  queries.
+
+``max_bytes`` bounds the cache by *accounted bytes* (payload + key + shared
+grids), evicting least-recently-used entries past either the entry-count or
+the byte budget.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
+
+from ..inference.precision import dequantize_values, quantize_values
+
+#: fixed per-entry bookkeeping charge (OrderedDict slot, entry object)
+_ENTRY_OVERHEAD_BYTES = 64
 
 
 @dataclass
@@ -30,24 +54,137 @@ class CachedCurve:
     def at(self, thresholds: np.ndarray) -> np.ndarray:
         return np.interp(np.asarray(thresholds, dtype=np.float64), self.thresholds, self.values)
 
+    @property
+    def payload_nbytes(self) -> int:
+        """Bytes this entry owns exclusively (the shared grid is not counted)."""
+        return int(self.values.nbytes)
+
+
+@dataclass
+class QuantizedCurve:
+    """A selectivity curve stored as affine uint codes on a shared grid.
+
+    Duck-types :class:`CachedCurve` (``thresholds`` / ``values`` /
+    ``__call__`` / ``at``) while holding 1–2 bytes per control point.
+    Non-negative curves quantize in the ``log1p`` domain: selectivities are
+    counts spanning orders of magnitude, and a log-domain code grid keeps
+    the *relative* reconstruction error uniform across the range (a linear
+    uint8 grid would concentrate all of its error budget on the small
+    values, exactly where relative accuracy matters).  Interpolation
+    happens on the decoded values, matching :class:`CachedCurve` up to the
+    quantization step.
+    """
+
+    thresholds: np.ndarray
+    codes: np.ndarray
+    scale: float
+    offset: float
+    transform: str = "linear"
+
+    @classmethod
+    def encode(
+        cls, thresholds: np.ndarray, values: np.ndarray, bits: int = 8
+    ) -> "QuantizedCurve":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size and float(values.min()) >= 0.0:
+            transform = "log1p"
+            encoded = np.log1p(values)
+        else:
+            transform = "linear"
+            encoded = values
+        codes, scale, offset = quantize_values(encoded, bits=bits)
+        return cls(
+            thresholds=thresholds,
+            codes=codes,
+            scale=scale,
+            offset=offset,
+            transform=transform,
+        )
+
+    @property
+    def values(self) -> np.ndarray:
+        decoded = dequantize_values(self.codes, self.scale, self.offset)
+        return np.expm1(decoded) if self.transform == "log1p" else decoded
+
+    def __call__(self, threshold: float) -> float:
+        return float(np.interp(threshold, self.thresholds, self.values))
+
+    def at(self, thresholds: np.ndarray) -> np.ndarray:
+        return np.interp(
+            np.asarray(thresholds, dtype=np.float64), self.thresholds, self.values
+        )
+
+    @property
+    def bits(self) -> int:
+        return int(self.codes.dtype.itemsize * 8)
+
+    @property
+    def payload_nbytes(self) -> int:
+        # codes + the two float64 decode constants
+        return int(self.codes.nbytes) + 16
+
+
+Curve = Union[CachedCurve, QuantizedCurve]
+
 
 #: default rounding of query coordinates inside cache keys; overridable per
 #: cache through ``CurveCache(decimals=...)`` / the service configuration
 DEFAULT_KEY_DECIMALS = 10
 
 
+def _rounded_query_bytes(query: np.ndarray, decimals: int) -> bytes:
+    rounded = np.round(np.asarray(query, dtype=np.float64), decimals)
+    # 0.0 and -0.0 have different byte patterns; normalise so they collide.
+    rounded = rounded + 0.0
+    return rounded.tobytes()
+
+
 def query_cache_key(
     model_name: str, query: np.ndarray, decimals: int = DEFAULT_KEY_DECIMALS
 ) -> bytes:
     """Stable cache key: model name + the rounded query bytes."""
-    rounded = np.round(np.asarray(query, dtype=np.float64), decimals)
-    # 0.0 and -0.0 have different byte patterns; normalise so they collide.
-    rounded = rounded + 0.0
-    return model_name.encode("utf-8") + b"\x00" + rounded.tobytes()
+    return model_name.encode("utf-8") + b"\x00" + _rounded_query_bytes(query, decimals)
+
+
+def compact_cache_key(
+    model_name: str, query: np.ndarray, decimals: int = DEFAULT_KEY_DECIMALS
+) -> bytes:
+    """The cache's *stored* key: model name + a 16-byte query digest.
+
+    Same identity semantics as :func:`query_cache_key` (which the shard
+    router keeps using, so routing stays byte-compatible), but a
+    byte-budgeted cache spends 16 bytes per key instead of ``dim * 8``.
+    The model prefix stays in the clear for per-model invalidation scans.
+    """
+    digest = hashlib.blake2b(
+        _rounded_query_bytes(query, decimals), digest_size=16
+    ).digest()
+    return model_name.encode("utf-8") + b"\x00" + digest
+
+
+def _grid_digest(grid: np.ndarray) -> bytes:
+    return hashlib.blake2b(np.ascontiguousarray(grid).tobytes(), digest_size=16).digest()
+
+
+@dataclass
+class _InternedGrid:
+    """One shared threshold-grid array and how many entries reference it."""
+
+    array: np.ndarray
+    refcount: int = 0
+
+
+@dataclass
+class _Entry:
+    """One cached curve plus the bookkeeping the byte accounting needs."""
+
+    curve: Curve
+    grid_key: Optional[Tuple[str, bytes]]
+    nbytes: int
 
 
 class CurveCache:
-    """A bounded LRU mapping (model, query) -> :class:`CachedCurve`.
+    """A bounded LRU mapping (model, query) -> cached selectivity curve.
 
     Parameters
     ----------
@@ -59,12 +196,33 @@ class CurveCache:
         Rounding applied to query coordinates when building cache keys (see
         :func:`query_cache_key`).  Lower values make near-duplicate queries
         share one cached curve at the cost of interpolation accuracy.
+    max_bytes:
+        Optional byte budget over accounted cache memory (curve payloads,
+        keys, interned grids, per-entry overhead); LRU entries are evicted
+        past it.  ``None`` bounds by entry count only.
+    quantize_bits:
+        8 or 16 re-encodes every inserted :class:`CachedCurve` as a
+        :class:`QuantizedCurve` with that many bits per control point;
+        ``None`` stores curves as handed in.
     """
 
-    def __init__(self, capacity: int = 256, decimals: int = DEFAULT_KEY_DECIMALS) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        decimals: int = DEFAULT_KEY_DECIMALS,
+        max_bytes: Optional[int] = None,
+        quantize_bits: Optional[int] = None,
+    ) -> None:
         self.capacity = int(capacity)
         self.decimals = int(decimals)
-        self._entries: "OrderedDict[bytes, CachedCurve]" = OrderedDict()
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        if quantize_bits is not None and quantize_bits not in (8, 16):
+            raise ValueError(f"quantize_bits must be 8, 16 or None, got {quantize_bits!r}")
+        self.quantize_bits = quantize_bits
+        self._entries: "OrderedDict[bytes, _Entry]" = OrderedDict()
+        self._grids: Dict[Tuple[str, bytes], _InternedGrid] = {}
+        self._entry_bytes = 0
+        self._grid_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -73,13 +231,22 @@ class CurveCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def bytes(self) -> int:
+        """Accounted cache memory: entry payloads + keys + shared grids."""
+        return self._entry_bytes + self._grid_bytes
+
+    @property
+    def grid_count(self) -> int:
+        return len(self._grids)
+
     # ------------------------------------------------------------------ #
     def get(
         self,
         model_name: str,
         query: np.ndarray,
         threshold: Optional[float] = None,
-    ) -> Optional[CachedCurve]:
+    ) -> Optional[Curve]:
         """Cached curve for a query, or None on a miss.
 
         When ``threshold`` is given, an entry whose grid does not reach it
@@ -87,23 +254,42 @@ class CurveCache:
         silently return a wrong estimate, so the caller must rebuild the
         curve over a wider range instead.
         """
-        key = query_cache_key(model_name, query, decimals=self.decimals)
+        key = compact_cache_key(model_name, query, decimals=self.decimals)
         entry = self._entries.get(key)
-        if entry is None or (threshold is not None and threshold > entry.thresholds[-1]):
+        if entry is None or (
+            threshold is not None and threshold > entry.curve.thresholds[-1]
+        ):
             self.misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
-        return entry
+        return entry.curve
 
-    def put(self, model_name: str, query: np.ndarray, curve: CachedCurve) -> None:
+    def put(self, model_name: str, query: np.ndarray, curve: Curve) -> None:
         if self.capacity <= 0:
             return
-        key = query_cache_key(model_name, query, decimals=self.decimals)
-        self._entries[key] = curve
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        key = compact_cache_key(model_name, query, decimals=self.decimals)
+        if self.quantize_bits is not None and isinstance(curve, CachedCurve):
+            curve = QuantizedCurve.encode(
+                curve.thresholds, curve.values, bits=self.quantize_bits
+            )
+        grid_key = self._intern_grid(model_name, curve)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._release_entry(previous)
+        entry = _Entry(
+            curve=curve,
+            grid_key=grid_key,
+            nbytes=curve.payload_nbytes + len(key) + _ENTRY_OVERHEAD_BYTES,
+        )
+        self._entries[key] = entry
+        self._entry_bytes += entry.nbytes
+        while self._entries and (
+            len(self._entries) > self.capacity
+            or (self.max_bytes is not None and self.bytes > self.max_bytes)
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._release_entry(evicted)
             self.evictions += 1
 
     def invalidate(self, model_name: Optional[str] = None) -> int:
@@ -111,14 +297,51 @@ class CurveCache:
         if model_name is None:
             removed = len(self._entries)
             self._entries.clear()
+            self._grids.clear()
+            self._entry_bytes = 0
+            self._grid_bytes = 0
         else:
             prefix = model_name.encode("utf-8") + b"\x00"
             stale = [key for key in self._entries if key.startswith(prefix)]
             for key in stale:
-                del self._entries[key]
+                self._release_entry(self._entries.pop(key))
             removed = len(stale)
         self.invalidations += removed
         return removed
+
+    # ------------------------------------------------------------------ #
+    # Grid interning
+    # ------------------------------------------------------------------ #
+    def _intern_grid(self, model_name: str, curve: Curve) -> Optional[Tuple[str, bytes]]:
+        """Share one threshold-grid array per (model, grid) across entries.
+
+        The inserted curve's ``thresholds`` is swapped for the interned
+        array (byte-identical by construction), so N entries on the same
+        grid hold one float64 array between them — and its bytes are
+        charged to the budget exactly once.
+        """
+        grid = np.asarray(curve.thresholds)
+        grid_key = (model_name, _grid_digest(grid))
+        interned = self._grids.get(grid_key)
+        if interned is None:
+            interned = _InternedGrid(array=np.ascontiguousarray(grid, dtype=np.float64))
+            self._grids[grid_key] = interned
+            self._grid_bytes += int(interned.array.nbytes)
+        curve.thresholds = interned.array
+        interned.refcount += 1
+        return grid_key
+
+    def _release_entry(self, entry: _Entry) -> None:
+        self._entry_bytes -= entry.nbytes
+        if entry.grid_key is None:
+            return
+        interned = self._grids.get(entry.grid_key)
+        if interned is None:
+            return
+        interned.refcount -= 1
+        if interned.refcount <= 0:
+            self._grid_bytes -= int(interned.array.nbytes)
+            del self._grids[entry.grid_key]
 
     # ------------------------------------------------------------------ #
     @property
@@ -136,4 +359,8 @@ class CurveCache:
             "hit_rate": self.hit_rate,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "bytes": self.bytes,
+            "max_bytes": self.max_bytes,
+            "quantize_bits": self.quantize_bits,
+            "grids": self.grid_count,
         }

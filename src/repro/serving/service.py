@@ -140,6 +140,17 @@ class EstimationService:
         (:meth:`repro.SelectivityEstimator.compiled`, the default) instead
         of graph-mode ``estimate`` calls.  Estimates are equal either way;
         the compiled path skips the autodiff machinery.
+    kernel_dtype:
+        Precision tier for the compiled kernels (``"float64"``, ``"float32"``,
+        ``"float16"`` or ``"int8"`` — see :mod:`repro.inference.precision`).
+        Non-float64 tiers trade bit-parity for throughput / memory under an
+        enforced error budget.  Ignored when ``use_compiled=False``.
+    cache_max_bytes:
+        Byte budget for the curve cache (None = unbounded; the entry
+        ``cache_capacity`` still applies either way).
+    cache_quantize_bits:
+        Store cached curves quantized to 8- or 16-bit codes against an
+        interned threshold grid (None keeps full float64 curves).
     """
 
     def __init__(
@@ -150,15 +161,35 @@ class EstimationService:
         max_batch_size: int = 256,
         cache_key_decimals: int = DEFAULT_KEY_DECIMALS,
         use_compiled: bool = True,
+        kernel_dtype: Optional[str] = None,
+        cache_max_bytes: Optional[int] = None,
+        cache_quantize_bits: Optional[int] = None,
     ) -> None:
+        from ..inference.precision import parse_tier
+
         if curve_resolution < 2:
             raise ValueError("curve_resolution must be at least 2")
         self.model_dir = None if model_dir is None else Path(model_dir)
         self.curve_resolution = int(curve_resolution)
         self.max_batch_size = int(max_batch_size)
         self.use_compiled = bool(use_compiled)
-        self.cache = CurveCache(capacity=cache_capacity, decimals=cache_key_decimals)
+        self._precision = parse_tier(kernel_dtype or "float64")
+        self.kernel_dtype = self._precision.name
+        self.cache = CurveCache(
+            capacity=cache_capacity,
+            decimals=cache_key_decimals,
+            max_bytes=cache_max_bytes,
+            quantize_bits=cache_quantize_bits,
+        )
         self.metrics = MetricsRegistry()
+        self._cache_bytes_gauge = self.metrics.gauge(
+            "repro_cache_bytes", "Bytes held by the curve cache"
+        )
+        self._kernel_dtype_gauge = self.metrics.gauge(
+            "repro_kernel_dtype",
+            "Compiled-kernel precision tier in use (value is always 1)",
+            ("model", "dtype"),
+        )
         self._estimators: Dict[str, SelectivityEstimator] = {}
         self._metadata: Dict[str, Dict[str, Any]] = {}
         self._stats: Dict[str, ModelStats] = {}
@@ -242,7 +273,10 @@ class EstimationService:
             raise KeyError(
                 f"unknown model {name!r}; available: {self.available_models()}"
             )
-        estimator = load_estimator(path)
+        # mmap: shard workers warming one shared model directory page the
+        # weight bytes in through the OS cache instead of each reading the
+        # full checkpoint (unmappable archives fall back to eager reads).
+        estimator = load_estimator(path, mmap=True)
         self._estimators[name] = estimator
         self._metadata[name] = read_metadata(path)
         self._model_stats(name)
@@ -347,7 +381,12 @@ class EstimationService:
         """The model's compiled inference kernel (None in graph mode)."""
         if not self.use_compiled:
             return None
-        return self.get(name).compiled()
+        tier = self._precision
+        kernel = self.get(name).compiled(
+            dtype=tier.storage_dtype, quantize=tier.quantize
+        )
+        self._kernel_dtype_gauge.labels(model=name, dtype=kernel.precision).set(1.0)
+        return kernel
 
     def _estimate_direct(
         self,
@@ -551,6 +590,7 @@ class EstimationService:
         other processes (shard workers answering a ``stats`` control
         message) can merge it into a cluster-wide snapshot.
         """
+        self._cache_bytes_gauge.set(float(self.cache.bytes))
         per_model = {name: stats.as_dict() for name, stats in self._stats.items()}
         kernels = {
             name: kernel.describe()
@@ -560,6 +600,7 @@ class EstimationService:
         return {
             "models_loaded": sorted(self._estimators),
             "use_compiled": self.use_compiled,
+            "kernel_dtype": self.kernel_dtype,
             "kernels": kernels,
             "cache": self.cache.stats(),
             "per_model": per_model,

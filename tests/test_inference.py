@@ -32,6 +32,7 @@ from repro.inference import (
     run_inference_benchmark,
     write_benchmark_json,
 )
+from repro.inference.precision import TIER_NAMES, parse_tier, relative_deviation
 from repro.serving import EstimationService
 
 PARITY = 1e-12
@@ -181,6 +182,32 @@ class TestCompiledLifecycle:
         np.testing.assert_array_equal(fresh_kernel.predict(queries, thresholds), after)
         # the fine-tune changed the weights, so the stale kernel is provably stale
         assert not np.array_equal(before, after)
+
+    def test_every_tier_stays_within_budget_after_update(self, tiny_cosine_split, rng):
+        """Mixed-dtype parity survives an incremental update: after the
+        fine-tune retrains the weights, every precision tier recompiles
+        from the *new* weights and still answers within its error budget."""
+        estimator = _fit(
+            "selnet-inc",
+            tiny_cosine_split,
+            update_max_epochs=1,
+            update_mae_drift_threshold=-1.0,
+        )
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        reports = estimator.update(inserts=rng.standard_normal((3, queries.shape[1])))
+        assert reports and reports[0].retrained
+
+        reference = np.asarray(estimator.estimate(queries, thresholds))
+        for name in TIER_NAMES:
+            tier = parse_tier(name)
+            kernel = estimator.compiled(dtype=tier.storage_dtype, quantize=tier.quantize)
+            assert kernel.precision == name
+            out = kernel.predict(queries, thresholds)
+            if tier.relative:
+                assert relative_deviation(out, reference) <= tier.budget
+            else:
+                assert np.max(np.abs(out - reference)) <= tier.budget
 
     def test_refit_invalidates_kernel(self, tiny_cosine_split):
         estimator = _fit("selnet-ct", tiny_cosine_split)

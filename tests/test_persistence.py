@@ -122,6 +122,33 @@ class TestNetworkCheckpoints:
         assert keys and all(key.startswith("model::") for key in keys)
         assert len(keys) == len(estimator.model.state_dict())
 
+    def test_mmap_load_is_bit_exact(self, tiny_cosine_split, tmp_path):
+        """``load_estimator(mmap=True)`` maps weights.npz instead of reading
+        it eagerly, with identical estimates — and the raw mapped views it
+        loads from are byte-equal to the eager arrays."""
+        from repro.nn.serialization import load_state
+
+        params = dict(FAST_PARAMS["selnet-ct"], seed=0)
+        estimator = create_estimator("selnet-ct", **params).fit(tiny_cosine_split)
+        path = tmp_path / "model"
+        estimator.save(path)
+
+        eager = load_state(path / WEIGHTS_FILE)
+        mapped = load_state(path / WEIGHTS_FILE, mmap=True)
+        assert sorted(mapped) == sorted(eager)
+        for key, array in eager.items():
+            view = mapped[key]
+            assert not view.flags.writeable  # read-only pages, never a copy
+            np.testing.assert_array_equal(view, array)
+
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        reference = np.asarray(load_estimator(path).estimate(queries, thresholds))
+        via_mmap = load_estimator(path, mmap=True)
+        np.testing.assert_array_equal(
+            np.asarray(via_mmap.estimate(queries, thresholds)), reference
+        )
+
     def test_corrupted_weights_are_detected(self, tiny_cosine_split, tmp_path):
         params = dict(FAST_PARAMS["selnet-ct"], seed=0)
         estimator = create_estimator("selnet-ct", **params).fit(tiny_cosine_split)

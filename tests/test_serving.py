@@ -15,6 +15,7 @@ from repro.serving import (
     iter_microbatches,
     run_serving_benchmark,
 )
+from repro.serving.cache import QuantizedCurve
 
 
 @pytest.fixture(scope="module")
@@ -91,6 +92,58 @@ class TestCurveCache:
         cache.put("b", np.zeros(2), curve)
         assert cache.invalidate("a") == 1
         assert cache.get("b", np.zeros(2)) is not None
+
+    def test_max_bytes_budget_evicts_lru(self):
+        grid = np.linspace(0.0, 1.0, 64)
+        # Measure what entries actually cost (first put also interns the grid).
+        probe = CurveCache(capacity=1000)
+        probe.put("m", np.zeros(2), CachedCurve(grid, grid * 2.0))
+        first = probe.bytes
+        probe.put("m", np.ones(2), CachedCurve(grid, grid * 2.0))
+        marginal = probe.bytes - first
+        cache = CurveCache(capacity=1000, max_bytes=first + 2 * marginal)  # room for 3
+        queries = [np.full(2, float(i)) for i in range(4)]
+        for query in queries:
+            cache.put("m", query, CachedCurve(grid, grid * 2.0))
+        assert len(cache) == 3
+        assert cache.stats()["evictions"] == 1
+        assert cache.get("m", queries[0]) is None  # the LRU entry paid for it
+        assert cache.get("m", queries[3]) is not None
+        assert cache.bytes <= cache.max_bytes
+
+    def test_grid_interning_counts_shared_bytes_once(self):
+        grid = np.linspace(0.0, 1.0, 128)
+        cache = CurveCache(capacity=16)
+        for i in range(8):
+            # distinct array objects, byte-identical grid values
+            cache.put("m", np.full(2, float(i)), CachedCurve(grid.copy(), grid * i))
+        stats = cache.stats()
+        assert stats["grids"] == 1
+        one = cache.get("m", np.zeros(2))
+        other = cache.get("m", np.ones(2))
+        assert one.thresholds is other.thresholds  # literally one shared array
+        # 8 value payloads but a single accounted grid: far below 8 * (grid + values)
+        assert cache.bytes < 8 * 2 * grid.nbytes
+        # releasing the last referencing entry releases the grid bytes too
+        cache.invalidate("m")
+        assert cache.bytes == 0 and cache.stats()["grids"] == 0
+
+    def test_quantized_curves_shrink_entries_within_budget(self):
+        grid = np.linspace(0.0, 2.0, 256)
+        values = np.expm1(np.linspace(0.0, 10.0, 256))  # counts spanning decades
+        cache = CurveCache(capacity=8, quantize_bits=8)
+        cache.put("m", np.zeros(2), CachedCurve(grid, values))
+        curve = cache.get("m", np.zeros(2))
+        assert isinstance(curve, QuantizedCurve)
+        assert curve.bits == 8
+        assert curve.payload_nbytes < values.nbytes / 4  # 1 B/point vs 8
+        # log1p-domain codes keep the *relative* error uniform across decades
+        scale = np.maximum(np.abs(values), 1.0)
+        assert np.max(np.abs(curve.values - values) / scale) < 2e-2
+        probes = grid[::7] + 1e-3
+        np.testing.assert_allclose(
+            curve.at(probes), CachedCurve(grid, values).at(probes), rtol=2.5e-2, atol=1.0
+        )
 
     def test_interpolation(self):
         curve = CachedCurve(np.array([0.0, 1.0]), np.array([0.0, 10.0]))
@@ -202,6 +255,31 @@ class TestEstimationService:
         service.estimate("kde", query + 1e-6, threshold)
         stats = service.stats()["per_model"]["kde"]
         assert stats["curve_builds"] == 1 and stats["cache_hits"] == 1
+
+    def test_precision_and_cache_budget_knobs(self, model_dir, tiny_cosine_split):
+        service = EstimationService(
+            model_dir,
+            kernel_dtype="float32",
+            cache_max_bytes=64 * 1024,
+            cache_quantize_bits=8,
+            curve_resolution=256,
+        )
+        assert service.kernel_dtype == "float32"
+        assert service.cache.max_bytes == 64 * 1024
+        assert service.cache.quantize_bits == 8
+        queries = tiny_cosine_split.test.queries
+        thresholds = tiny_cosine_split.test.thresholds
+        served = service.estimate("kde", queries, thresholds)
+        direct = service.get("kde").estimate(queries, thresholds)
+        scale = np.maximum(np.abs(direct), 1.0)
+        assert np.max(np.abs(served - direct) / scale) < 0.25
+        stats = service.stats()
+        assert stats["kernel_dtype"] == "float32"
+        assert 0 < stats["cache"]["bytes"] <= 64 * 1024
+        # the compiled-kernel tier rides the metrics registry for /metrics
+        text = service.metrics.snapshot().to_prometheus()
+        assert "repro_cache_bytes" in text
+        assert 'repro_kernel_dtype{model="kde",dtype="float32"}' in text
 
     def test_in_memory_models_and_curves(self, model_dir, tiny_cosine_split):
         service = EstimationService()
