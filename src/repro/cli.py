@@ -136,6 +136,31 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+def _parse_size(raw: str) -> int:
+    """argparse type: a byte count with an optional binary K/M/G/T suffix."""
+    text = raw.strip().upper().removesuffix("IB").removesuffix("B")
+    multipliers = {"K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
+    factor = 1
+    if text and text[-1] in multipliers:
+        factor = multipliers[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(float(text) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse size {raw!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be non-negative, got {raw!r}")
+    return value
+
+
+def _parse_int_list(raw: str) -> list:
+    """Comma-separated integers (``1000,10000``) as a list."""
+    try:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse integer list {raw!r}") from None
+
+
 
 def _engine_parent(num_workers_default: Optional[int] = None) -> argparse.ArgumentParser:
     """``--num-workers`` / ``--block-kib`` / ``--progress`` for every command
@@ -163,6 +188,13 @@ def _engine_parent(num_workers_default: Optional[int] = None) -> argparse.Argume
         "--progress",
         action="store_true",
         help="log ground-truth labeling progress to stderr",
+    )
+    group.add_argument(
+        "--executor",
+        choices=("thread", "process", "cluster"),
+        default=None,
+        help="pipeline execution backend (default: thread; process/cluster "
+        "run stages in worker processes and need an artifact store)",
     )
     return parent
 
@@ -259,6 +291,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero unless every pipeline stage was a cache hit",
     )
 
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a scale sweep (accuracy vs n) or a cross-seed variance run",
+        parents=[engine(), seed0(), store()],
+    )
+    sweep_parser.add_argument(
+        "axis",
+        choices=("scale", "seeds"),
+        help="sweep axis: database size (accuracy-vs-scale curve) or seeds "
+        "(mean ± std per table cell)",
+    )
+    sweep_parser.add_argument(
+        "--setting",
+        default="face-cos",
+        help="fasttext-cos, fasttext-l2, face-cos or youtube-cos",
+    )
+    sweep_parser.add_argument("--scale", default="small", help="tiny, small or medium (base profile)")
+    sweep_parser.add_argument(
+        "--models",
+        default=None,
+        metavar="A,B",
+        help="comma-separated model subset (default: KDE,LightGBM-m)",
+    )
+    sweep_parser.add_argument(
+        "--num-vectors",
+        type=_parse_int_list,
+        default=None,
+        metavar="N1,N2,...",
+        help="scale axis: database sizes (default: 1000,10000,100000,1000000)",
+    )
+    sweep_parser.add_argument(
+        "--seeds",
+        type=_parse_int_list,
+        default=None,
+        metavar="S1,S2,...",
+        help="seed axis: seeds to aggregate over (default: 0,1,2)",
+    )
+    sweep_parser.add_argument("--output", default=None, help="also write the sweep text to this file")
+    sweep_parser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write per-stage wall-clock and cache statistics as JSON",
+    )
+    sweep_parser.add_argument(
+        "--expect-all-cached",
+        action="store_true",
+        help="exit non-zero unless every pipeline stage was a cache hit",
+    )
+
     artifacts_parser = subparsers.add_parser(
         "artifacts", help="inspect or garbage-collect the artifact store"
     )
@@ -270,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="artifact store root (default: $REPRO_ARTIFACTS or .repro-artifacts)",
     )
-    artifacts_parser.add_argument("action", choices=("list", "gc", "path"))
+    artifacts_parser.add_argument("action", choices=("list", "gc", "path", "digest"))
     artifacts_parser.add_argument(
         "--kind",
         action="append",
@@ -283,6 +365,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="gc: only evict artifacts not used for this many days",
+    )
+    artifacts_parser.add_argument(
+        "--max-bytes",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="gc: trim the store to this byte budget, evicting least-recently "
+        "used artifacts first (accepts K/M/G/T suffixes, e.g. 2G)",
     )
     artifacts_parser.add_argument(
         "--dry-run", action="store_true", help="gc: report what would be removed"
@@ -766,6 +856,12 @@ def _execute_experiment(runner: Callable, args):
 
     scale = get_scale(args.scale)
     store = _store_from(args)
+    executor = getattr(args, "executor", None)
+    if executor in ("process", "cluster") and store is None:
+        raise SystemExit(
+            f"error: --executor {executor} coordinates stages through the "
+            "artifact store; drop --no-store"
+        )
     started = time.perf_counter()
     with use_store(store):
         result = runner(
@@ -773,6 +869,7 @@ def _execute_experiment(runner: Callable, args):
             seed=args.seed,
             num_workers=getattr(args, "num_workers", None),
             engine_options=_engine_options_from(args),
+            executor=executor,
         )
     elapsed = time.perf_counter() - started
     print(result.text)
@@ -856,6 +953,95 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .experiments import run_scale_sweep, run_seed_variance
+    from .experiments.sweeps import (
+        DEFAULT_SCALE_POINTS,
+        DEFAULT_SWEEP_MODELS,
+        DEFAULT_VARIANCE_SEEDS,
+    )
+
+    models = (
+        DEFAULT_SWEEP_MODELS
+        if args.models is None
+        else tuple(part.strip() for part in args.models.split(",") if part.strip())
+    )
+    if args.axis == "scale":
+        points = args.num_vectors or list(DEFAULT_SCALE_POINTS)
+
+        def runner(**kw):
+            return run_scale_sweep(args.setting, num_vectors=points, models=models, **kw)
+
+    else:
+        seeds = args.seeds or list(DEFAULT_VARIANCE_SEEDS)
+
+        def runner(**kw):
+            return run_seed_variance(args.setting, models=models, seeds=seeds, **kw)
+
+    if getattr(args, "no_store", False) and args.expect_all_cached:
+        raise SystemExit("error: --expect-all-cached needs an artifact store (drop --no-store)")
+
+    result, store, elapsed = _execute_experiment(runner, args)
+    report = result.pipeline_report
+    stats = None if store is None else store.stats
+    if report is not None:
+        print(report.text, file=sys.stderr)
+
+    if args.stats_json:
+        payload = {
+            "sweep": result.sweep_id,
+            "axis": args.axis,
+            "description": result.description,
+            "scale": get_scale(args.scale).name,
+            "elapsed_seconds": elapsed,
+            "store": None if store is None else str(store.root),
+            "store_stats": None if stats is None else stats.as_dict(),
+            "pipeline": None if report is None else report.as_dict(),
+            "rows": result.rows,
+            "all_cached": stats is not None and stats.misses == 0,
+        }
+        with open(args.stats_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.stats_json}")
+
+    if args.expect_all_cached and stats is not None:
+        if stats.misses > 0:
+            raise SystemExit(
+                f"cache-miss failure: expected a fully warm store but {stats.misses} "
+                f"stage(s) had to be built (stats: {stats.as_dict()})"
+            )
+        if stats.hits == 0:
+            raise SystemExit(
+                "cache-assertion failure: the sweep ran no store-backed stages, "
+                "so --expect-all-cached cannot attest anything"
+            )
+    return 0
+
+
+def _eval_digests(store) -> Dict[str, str]:
+    """SHA-256 per eval artifact over its deterministic content.
+
+    Wall-clock measurement fields (``EvalSpec.TIMING_FIELDS``) are excluded:
+    they differ across *any* two runs, while everything the estimator
+    computed must be byte-identical across executors / machines — this is
+    the digest CI compares between the thread- and process-backend stores.
+    """
+    import hashlib
+
+    from .pipeline.specs import EvalSpec
+
+    digests: Dict[str, str] = {}
+    for entry in store.list_artifacts(["eval"]):
+        path = store.root / "eval" / entry["hash"] / "evaluation.json"
+        payload = json.loads(path.read_text())
+        canonical = json.dumps(
+            EvalSpec.deterministic_payload(payload), sort_keys=True
+        )
+        digests[entry["hash"]] = hashlib.sha256(canonical.encode()).hexdigest()
+    return digests
+
+
 def _cmd_artifacts(args) -> int:
     from .pipeline import ArtifactStore
 
@@ -864,15 +1050,26 @@ def _cmd_artifacts(args) -> int:
         print(store.root)
         return 0
     if args.action == "gc":
-        if args.kind is None and args.older_than_days is None and not (args.all or args.dry_run):
+        filtered = (
+            args.kind is not None
+            or args.older_than_days is not None
+            or args.max_bytes is not None
+        )
+        if not filtered and not (args.all or args.dry_run):
             raise SystemExit(
                 "error: a bare gc would delete every artifact; pass --kind / "
-                "--older-than-days to filter, --all to confirm a full wipe, or --dry-run"
+                "--older-than-days / --max-bytes to filter, --all to confirm "
+                "a full wipe, or --dry-run"
             )
         older_than = (
             None if args.older_than_days is None else args.older_than_days * 86400.0
         )
-        summary = store.gc(kinds=args.kind, older_than_seconds=older_than, dry_run=args.dry_run)
+        summary = store.gc(
+            kinds=args.kind,
+            older_than_seconds=older_than,
+            max_bytes=args.max_bytes,
+            dry_run=args.dry_run,
+        )
         if args.json:
             print(json.dumps(summary, indent=2, sort_keys=True))
         else:
@@ -881,6 +1078,14 @@ def _cmd_artifacts(args) -> int:
                 f"{verb} {len(summary['removed'])} artifact(s), "
                 f"{summary['removed_bytes']} bytes; swept {summary['temp_dirs_swept']} temp dir(s)"
             )
+        return 0
+    if args.action == "digest":
+        digests = _eval_digests(store)
+        if args.json:
+            print(json.dumps({"store": str(store.root), "evals": digests}, indent=2, sort_keys=True))
+        else:
+            for spec_hash in sorted(digests):
+                print(f"{spec_hash}  {digests[spec_hash]}")
         return 0
 
     entries = store.list_artifacts(args.kind)
@@ -1699,6 +1904,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "artifacts":
         return _cmd_artifacts(args)
     if args.command == "models":

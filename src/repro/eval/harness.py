@@ -218,6 +218,7 @@ def run_setting(
     store: Optional[ArtifactStore] = None,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> SettingEvaluation:
     """Evaluate a set of models on one dataset / distance setting.
 
@@ -256,6 +257,10 @@ def run_setting(
     engine_options:
         Labeling-engine tuning for the workload stage (``num_workers`` /
         ``block_bytes`` / ``progress``).
+    executor:
+        Pipeline execution backend (``"thread"`` / ``"process"`` /
+        ``"cluster"``); the process-backed executors need a persistent
+        store.  See :mod:`repro.pipeline.runner`.
     """
     if split is not None or factories is not None:
         return _run_setting_direct(
@@ -289,7 +294,10 @@ def run_setting(
         evals=tuple(eval_specs),
     )
     runner = PipelineRunner(
-        store=resolve_store(store), num_workers=num_workers, engine_options=engine_options
+        store=resolve_store(store),
+        num_workers=num_workers,
+        engine_options=engine_options,
+        executor=executor,
     )
     outcome = runner.run(experiment)
     return SettingEvaluation(

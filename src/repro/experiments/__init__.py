@@ -38,6 +38,10 @@ __all__ = [
     "figure3_dln_vs_selnet",
     "figure4_control_points",
     "figure5_updates",
+    "SweepResult",
+    "run_scale_sweep",
+    "run_seed_variance",
+    "scaled_replica",
 ]
 
 _TABLE_EXPORTS = {
@@ -56,6 +60,12 @@ _FIGURE_EXPORTS = {
     "figure4_control_points",
     "figure5_updates",
 }
+_SWEEP_EXPORTS = {
+    "SweepResult",
+    "run_scale_sweep",
+    "run_seed_variance",
+    "scaled_replica",
+}
 
 
 def __getattr__(name: str):
@@ -67,4 +77,8 @@ def __getattr__(name: str):
         from . import figures
 
         return getattr(figures, name)
+    if name in _SWEEP_EXPORTS:
+        from . import sweeps
+
+        return getattr(sweeps, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

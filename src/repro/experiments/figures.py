@@ -72,6 +72,7 @@ def _materialize_selnet_variants(
     seed: int,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> Tuple[WorkloadSplit, Dict[str, SelNetEstimator], Optional[PipelineReport]]:
     """Workload split + fitted SelNet variants through the pipeline.
 
@@ -93,7 +94,10 @@ def _materialize_selnet_variants(
     )
     store = resolve_store()
     runner = PipelineRunner(
-        store=store, num_workers=num_workers, engine_options=engine_options
+        store=store,
+        num_workers=num_workers,
+        engine_options=engine_options,
+        executor=executor,
     )
     outcome = runner.run(experiment)
     split = outcome.values[workload_spec.spec_hash]
@@ -174,6 +178,7 @@ def figure4_control_points(
     seed: int = 0,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> FigureResult:
     """Figure 4: control points of SelNet-ct vs SelNet-ad-ct for random queries.
 
@@ -191,6 +196,7 @@ def figure4_control_points(
             seed,
             num_workers=num_workers,
             engine_options=engine_options,
+            executor=executor,
         )
         ct = estimators["SelNet-ct"]
         ad_ct = estimators["SelNet-ad-ct"]
@@ -256,6 +262,7 @@ def figure5_updates(
     seed: int = 0,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> FigureResult:
     """Figure 5: MSE and MAPE on the test set across a stream of updates.
 
@@ -281,6 +288,7 @@ def figure5_updates(
             seed,
             num_workers=num_workers,
             engine_options=engine_options,
+            executor=executor,
         )
         reports.append(setting_report)
         from ..exact import DeltaOracle

@@ -80,11 +80,15 @@ def _run_eval_specs(
     eval_specs: Sequence[EvalSpec],
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> Tuple[Dict[str, EvaluationResult], PipelineReport]:
     """Execute eval stages as one DAG; returns results by eval hash + report."""
     experiment = ExperimentSpec(name=name, evals=tuple(eval_specs))
     runner = PipelineRunner(
-        store=resolve_store(), num_workers=num_workers, engine_options=engine_options
+        store=resolve_store(),
+        num_workers=num_workers,
+        engine_options=engine_options,
+        executor=executor,
     )
     outcome = runner.run(experiment)
     return {spec.spec_hash: outcome.value(spec) for spec in eval_specs}, outcome.report
@@ -110,6 +114,7 @@ def run_accuracy_table(
     seed: int = 0,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> TableResult:
     """Tables 1-4 (geometric thresholds) and Table 11 (beta thresholds).
 
@@ -127,6 +132,7 @@ def run_accuracy_table(
         seed=seed,
         num_workers=num_workers,
         engine_options=engine_options,
+        executor=executor,
     )
     if threshold_distribution == "beta":
         table_id = "Table 11"
@@ -156,6 +162,7 @@ def run_monotonicity_table(
     seed: int = 0,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> TableResult:
     """Table 5: empirical monotonicity (%) of every model on face-cos."""
     if models is None:
@@ -169,6 +176,7 @@ def run_monotonicity_table(
         seed=seed,
         num_workers=num_workers,
         engine_options=engine_options,
+        executor=executor,
     )
     text = format_monotonicity_table(
         evaluation, title=f"Table 5: empirical monotonicity on {setting} [{scale.name} scale]"
@@ -192,6 +200,7 @@ def run_ablation_table(
     seed: int = 0,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> TableResult:
     """Table 6: SelNet vs SelNet-ct vs SelNet-ad-ct on every setting.
 
@@ -211,6 +220,7 @@ def run_ablation_table(
         [spec for _, _, spec in keyed],
         num_workers=num_workers,
         engine_options=engine_options,
+        executor=executor,
     )
 
     rows: List[Dict[str, float]] = []
@@ -247,6 +257,7 @@ def run_timing_table(
     seed: int = 0,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> TableResult:
     """Table 7: average estimation time (ms per query) per model and setting.
 
@@ -269,6 +280,7 @@ def run_timing_table(
         [spec for _, setting_specs in keyed for spec in setting_specs],
         num_workers=num_workers,
         engine_options=engine_options,
+        executor=executor,
     )
     evaluations: Dict[str, SettingEvaluation] = {
         setting: SettingEvaluation(
@@ -307,6 +319,7 @@ def _run_selnet_sweep(
     seed: int,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> Tuple[List[EvaluationResult], Optional[PipelineReport]]:
     """Evaluate SelNet variants (``(display_name, config_overrides)`` arms)
     on one setting's workload; spec-driven unless a split is supplied."""
@@ -329,7 +342,11 @@ def _run_selnet_sweep(
         )
         eval_specs.append(EvalSpec(train=train, seed=seed))
     results_by_hash, report = _run_eval_specs(
-        name, eval_specs, num_workers=num_workers, engine_options=engine_options
+        name,
+        eval_specs,
+        num_workers=num_workers,
+        engine_options=engine_options,
+        executor=executor,
     )
     return [results_by_hash[spec.spec_hash] for spec in eval_specs], report
 
@@ -345,6 +362,7 @@ def run_control_point_sweep(
     seed: int = 0,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> TableResult:
     """Table 8: validation errors as the number of control points L varies.
 
@@ -368,6 +386,7 @@ def run_control_point_sweep(
         seed,
         num_workers=num_workers,
         engine_options=engine_options,
+        executor=executor,
     )
     rows: List[Dict[str, float]] = [
         {
@@ -403,6 +422,7 @@ def run_partition_size_sweep(
     seed: int = 0,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> TableResult:
     """Table 9: errors and estimation time as the partition count K varies."""
     arms = [
@@ -418,6 +438,7 @@ def run_partition_size_sweep(
         seed,
         num_workers=num_workers,
         engine_options=engine_options,
+        executor=executor,
     )
     rows: List[Dict[str, float]] = [
         {
@@ -456,6 +477,7 @@ def run_partition_method_table(
     seed: int = 0,
     num_workers: Optional[int] = None,
     engine_options: Optional[Dict] = None,
+    executor: Optional[str] = None,
 ) -> TableResult:
     """Table 10: cover-tree vs random vs k-means partitioning."""
     arms = [
@@ -474,6 +496,7 @@ def run_partition_method_table(
         seed,
         num_workers=num_workers,
         engine_options=engine_options,
+        executor=executor,
     )
     rows: List[Dict[str, float]] = [
         {

@@ -21,6 +21,7 @@ on these; the serving tier loads trained models straight from the store's
 
 from .runner import (
     ENGINE_OPTION_KEYS,
+    EXECUTORS,
     PipelineOutcome,
     PipelineReport,
     PipelineRunner,
@@ -41,6 +42,7 @@ from .specs import (
 )
 from .store import (
     DEFAULT_STORE_DIR,
+    LOCKS_DIR,
     MANIFEST_FILE,
     STORE_ENV,
     ArtifactStore,
@@ -68,6 +70,7 @@ __all__ = [
     "BuildInfo",
     "StoreStats",
     "MANIFEST_FILE",
+    "LOCKS_DIR",
     "STORE_ENV",
     "DEFAULT_STORE_DIR",
     "get_active_store",
@@ -79,4 +82,5 @@ __all__ = [
     "PipelineReport",
     "StageReport",
     "ENGINE_OPTION_KEYS",
+    "EXECUTORS",
 ]

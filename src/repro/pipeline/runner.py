@@ -5,8 +5,33 @@ deduplicates its spec closure into a DAG (two evals sharing one workload
 share one workload *stage*), and materializes every stage through the store
 in dependency order.  Independent branches — the per-model training stages
 of an accuracy table, the per-setting branches of the ablation study — run
-concurrently on a thread pool sized by the same ``num_workers`` conventions
+concurrently on a worker pool sized by the same ``num_workers`` conventions
 as the exact-selectivity engine (:func:`repro.exact.get_default_num_workers`).
+
+Where that pool lives is the **executor backend** (``executor=``):
+
+``"thread"`` (default)
+    Stages run on a thread pool inside this process.  Dependency-free and
+    exactly the historical behavior; training branches share the GIL.
+
+``"process"``
+    Stages run in dedicated worker processes (one fresh pool per ``run``),
+    following the same spawn idiom as the cluster tier's
+    :class:`~repro.cluster.backends.ProcessShardBackend` — a lazily built
+    module-global slot in each worker survives both fork and spawn start
+    methods without initializer plumbing.  A stage ships as its canonical
+    **spec plus dependency hashes** only: the worker rebuilds the value
+    through its own :class:`~repro.pipeline.store.ArtifactStore` over the
+    shared on-disk root, so no dataset, workload or model is ever pickled
+    across the process boundary, and training branches use all cores
+    without sharing a GIL.  Requires a persistent store (the store *is*
+    the data plane); results are bit-identical to the thread backend.
+
+``"cluster"``
+    Same worker machinery, but the process pool is **persistent across
+    runs** of this runner (closed by :meth:`PipelineRunner.close` or the
+    context manager), so repeated sweeps amortize worker spawn and the
+    workers' warm in-memory artifact caches.
 
 Stages never wait inside workers: the scheduler submits a stage only once
 all of its dependencies completed, so a pool of any width cannot deadlock.
@@ -28,21 +53,35 @@ Two scheduling refinements keep the measurements and the warm path honest:
   (Loading an artifact that itself needs a dependency — e.g. a workload
   split reconstructing its oracle — pulls that dependency on demand through
   ``store.get_or_build``.)
+
+Labeling stages additionally split the exact-engine thread budget between
+however many of them can actually overlap — recomputed at every submission
+from the live ready/in-flight sets, so a labeler that runs alone in a later
+wave gets the full engine width back.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..obs import trace as obstrace
-from .specs import ExperimentSpec, Spec
-from .store import ArtifactStore, BuildInfo
+from .specs import ExperimentSpec, Spec, spec_from_canonical
+from .store import ArtifactStore, BuildInfo, MANIFEST_FILE
 
 #: labeling-engine build options forwarded to workload stages
 ENGINE_OPTION_KEYS = ("num_workers", "block_bytes", "progress")
+
+#: recognised executor backends
+EXECUTORS = ("thread", "process", "cluster")
 
 
 @dataclass
@@ -77,6 +116,7 @@ class PipelineReport:
     experiment: str
     stages: List[StageReport] = field(default_factory=list)
     total_seconds: float = 0.0
+    executor: str = "thread"
 
     @property
     def cache_hits(self) -> int:
@@ -90,13 +130,19 @@ class PipelineReport:
     def all_cached(self) -> bool:
         return bool(self.stages) and all(stage.cached for stage in self.stages)
 
+    @property
+    def cpu_seconds(self) -> float:
+        return sum(stage.cpu_seconds for stage in self.stages)
+
     def stages_by_kind(self, kind: str) -> List[StageReport]:
         return [stage for stage in self.stages if stage.kind == kind]
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "experiment": self.experiment,
+            "executor": self.executor,
             "total_seconds": self.total_seconds,
+            "cpu_seconds": self.cpu_seconds,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "all_cached": self.all_cached,
@@ -110,7 +156,7 @@ class PipelineReport:
         present = [report for report in reports if report is not None]
         if not present:
             return None
-        combined = PipelineReport(experiment=name)
+        combined = PipelineReport(experiment=name, executor=present[0].executor)
         for report in present:
             combined.stages.extend(report.stages)
             combined.total_seconds += report.total_seconds
@@ -119,9 +165,9 @@ class PipelineReport:
     @property
     def text(self) -> str:
         lines = [
-            f"pipeline {self.experiment}: {len(self.stages)} stages, "
-            f"{self.cache_hits} cached / {self.cache_misses} built, "
-            f"{self.total_seconds:.2f} s"
+            f"pipeline {self.experiment}: {len(self.stages)} stages "
+            f"[{self.executor}], {self.cache_hits} cached / "
+            f"{self.cache_misses} built, {self.total_seconds:.2f} s"
         ]
         for stage in self.stages:
             source = stage.cached if stage.cached else "built"
@@ -149,6 +195,75 @@ def _default_stage_workers() -> int:
     return get_default_num_workers()
 
 
+# ---------------------------------------------------------------------- #
+# Process-executor worker side.
+#
+# Mirrors the cluster tier's ProcessShardBackend idiom: a module-global
+# slot built lazily from the arguments shipped with the first task, so the
+# same code survives fork and spawn start methods.  One ArtifactStore per
+# root keeps a worker's disk-replayed artifacts warm across the stages it
+# executes — the workload split loaded for one training stage is reused by
+# the next model trained in the same worker, without any cross-process
+# value traffic.
+# ---------------------------------------------------------------------- #
+_WORKER_STORES: Dict[str, ArtifactStore] = {}
+
+
+def _worker_store(root: str) -> ArtifactStore:
+    store = _WORKER_STORES.get(root)
+    if store is None:
+        store = ArtifactStore(root)
+        _WORKER_STORES[root] = store
+    return store
+
+
+def _process_stage(
+    store_root: str,
+    payload: Dict[str, Any],
+    dep_hashes: Dict[str, str],
+    options: Dict[str, Any],
+    trace_config: Optional[Dict[str, Any]],
+    trace_id: Optional[str],
+) -> Tuple[BuildInfo, float]:
+    """One stage build inside a worker process.
+
+    The stage arrives as its canonical spec payload plus the hashes of its
+    dependencies; the value is built through (and persisted by) the shared
+    on-disk store and **never** shipped back — the parent reads terminal
+    values from the store, interior values stay where they were built.
+    """
+    if trace_config and obstrace.get_sink() is None:
+        obstrace.configure_tracing(
+            trace_config["path"],
+            trace_config.get("sample", 1.0),
+            role="pipeline-worker",
+        )
+    spec = spec_from_canonical(payload)
+    store = _worker_store(store_root)
+    if not store.contains(spec):
+        # The scheduler only submits a stage once its dependencies are
+        # complete; verify before building so a coordination bug surfaces
+        # as a loud invariant violation instead of a silent (and possibly
+        # enormous) in-worker rebuild of an upstream artifact.
+        missing = {
+            dep_hash: kind
+            for dep_hash, kind in dep_hashes.items()
+            if not (store.root / kind / dep_hash / MANIFEST_FILE).is_file()
+        }
+        if missing:
+            raise RuntimeError(
+                f"pipeline worker asked to build {spec.describe()} but its "
+                f"dependencies are not in the store: {missing}"
+            )
+    cpu_start = time.thread_time()
+    with obstrace.span(
+        "pipeline.stage", trace_id=trace_id, kind=spec.kind, spec=spec.spec_hash
+    ) as fields:
+        _, info = store.get_or_build_info(spec, **options)
+        fields["cached"] = info.cached
+    return info, time.thread_time() - cpu_start
+
+
 class PipelineRunner:
     """Schedules an experiment DAG over an :class:`ArtifactStore`.
 
@@ -158,13 +273,17 @@ class PipelineRunner:
         Artifact store; a fresh memory-only store when omitted (pure
         compute, nothing persisted — the library default).
     num_workers:
-        Stage-level thread-pool width (``None`` = the exact-engine default).
+        Stage-level worker-pool width (``None`` = the exact-engine default).
         Only *independent* stages overlap; dependency order is always
         respected, and results are independent of the pool width.
     engine_options:
         Labeling-engine tuning forwarded to workload stages
         (``num_workers`` / ``block_bytes`` / ``progress``); never part of
         any spec hash.
+    executor:
+        ``"thread"`` (default), ``"process"`` or ``"cluster"`` — see the
+        module docstring.  The process-backed executors require a
+        persistent store.
     """
 
     def __init__(
@@ -172,20 +291,68 @@ class PipelineRunner:
         store: Optional[ArtifactStore] = None,
         num_workers: Optional[int] = None,
         engine_options: Optional[Dict[str, Any]] = None,
+        executor: Optional[str] = None,
     ) -> None:
         self.store = store if store is not None else ArtifactStore.memory()
         self.num_workers = num_workers
+        self.executor = executor if executor is not None else "thread"
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
+        if self.executor != "thread" and not self.store.persistent:
+            raise ValueError(
+                f"executor={self.executor!r} coordinates stages through the "
+                "on-disk store; use a persistent ArtifactStore(root=...) "
+                "(a memory-only store cannot be shared across processes)"
+            )
         self.engine_options = {
             key: value
             for key, value in (engine_options or {}).items()
             if key in ENGINE_OPTION_KEYS and value is not None
         }
+        self._cluster_pool: Optional[ProcessPoolExecutor] = None
+        self._cluster_width = 0
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _make_pool(self, max_workers: int):
+        """(pool, owned) — ``owned`` pools are shut down when the run ends."""
+        if self.executor == "thread":
+            return (
+                ThreadPoolExecutor(
+                    max_workers=max_workers, thread_name_prefix="repro-pipeline"
+                ),
+                True,
+            )
+        if self.executor == "process":
+            return ProcessPoolExecutor(max_workers=max_workers), True
+        if self._cluster_pool is None or self._cluster_width < max_workers:
+            if self._cluster_pool is not None:
+                self._cluster_pool.shutdown(wait=True)
+            self._cluster_pool = ProcessPoolExecutor(max_workers=max_workers)
+            self._cluster_width = max_workers
+        return self._cluster_pool, False
+
+    def close(self) -> None:
+        """Shut down a persistent ``cluster`` pool (no-op otherwise)."""
+        if self._cluster_pool is not None:
+            self._cluster_pool.shutdown(wait=True)
+            self._cluster_pool = None
+            self._cluster_width = 0
+
+    def __enter__(self) -> "PipelineRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def run(self, experiment: ExperimentSpec) -> PipelineOutcome:
         """Materialize every stage of ``experiment``; returns values + report."""
         nodes, dependents, indegree, order_index = self._build_dag(experiment)
-        report = PipelineReport(experiment=experiment.name)
+        report = PipelineReport(experiment=experiment.name, executor=self.executor)
         values: Dict[str, Any] = {}
         # One trace per run, so stage spans in the sink share a trace ID
         # (pool threads don't inherit the context var — passed explicitly).
@@ -198,20 +365,9 @@ class PipelineRunner:
 
         max_workers = self.num_workers or _default_stage_workers()
         max_workers = max(1, min(int(max_workers), len(nodes)))
-
-        engine_options = dict(self.engine_options)
-        if "num_workers" not in engine_options:
-            # Workload-labeling stages spawn their own exact-engine thread
-            # pools; when several can run concurrently on the stage pool,
-            # split the engine budget between them instead of oversubscribing
-            # the cores with pool-width x engine-width GEMM threads.  A
-            # single labeling stage (the common one-setting table) keeps the
-            # full engine width — its dataset dependency can never overlap it.
-            workload_stages = sum(1 for spec in nodes.values() if spec.kind == "workload")
-            concurrent_labelers = min(max_workers, max(1, workload_stages))
-            if concurrent_labelers > 1:
-                total = int(self.num_workers) if self.num_workers else _default_stage_workers()
-                engine_options["num_workers"] = max(1, total // concurrent_labelers)
+        engine_total = (
+            int(self.num_workers) if self.num_workers else _default_stage_workers()
+        )
 
         ready = sorted(
             (key for key, degree in indegree.items() if degree == 0),
@@ -220,8 +376,48 @@ class PipelineRunner:
         in_flight: Dict[Future, str] = {}
         exclusive_in_flight = False
         failure: Optional[BaseException] = None
+        remote = self.executor != "thread"
 
-        def submit_ready(executor: ThreadPoolExecutor, options: Dict[str, Any]) -> None:
+        def stage_options(spec: Spec) -> Dict[str, Any]:
+            # Workload-labeling stages spawn their own exact-engine thread
+            # pools; when several can overlap on the stage pool, split the
+            # engine budget between them instead of oversubscribing the
+            # cores with pool-width x engine-width GEMM threads.  The split
+            # is recomputed at every submission from the *live* ready and
+            # in-flight sets, so a labeler running alone in a later wave
+            # (after the first wave completed) gets the full engine width —
+            # the static whole-DAG count would starve it forever.
+            options = dict(self.engine_options)
+            if (
+                spec.kind == "workload"
+                and "num_workers" not in options
+                and max_workers > 1
+            ):
+                overlapping = (
+                    1
+                    + sum(1 for k in in_flight.values() if nodes[k].kind == "workload")
+                    + sum(1 for k in ready if nodes[k].kind == "workload")
+                )
+                concurrent_labelers = min(max_workers, overlapping)
+                if concurrent_labelers > 1:
+                    options["num_workers"] = max(1, engine_total // concurrent_labelers)
+            return options
+
+        def submit(pool, spec: Spec) -> Future:
+            options = stage_options(spec)
+            if remote:
+                return pool.submit(
+                    _process_stage,
+                    str(self.store.root),
+                    spec.canonical(),
+                    {dep.spec_hash: dep.kind for dep in spec.dependencies()},
+                    options,
+                    obstrace.trace_config(),
+                    trace_id,
+                )
+            return pool.submit(self._run_stage, spec, options, trace_id)
+
+        def submit_ready(pool) -> None:
             # Prefer non-exclusive stages to keep the pool busy; an exclusive
             # stage (timing-sensitive evaluation) is submitted only into a
             # drained pool and blocks further submissions until it finishes.
@@ -237,14 +433,12 @@ class PipelineRunner:
                     index = 0
                     exclusive_in_flight = True
                 key = ready.pop(index)
-                future = executor.submit(self._run_stage, nodes[key], options, trace_id)
-                in_flight[future] = key
+                in_flight[submit(pool, nodes[key])] = key
 
-        with ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-pipeline"
-        ) as executor:
+        pool, owned = self._make_pool(max_workers)
+        try:
             while ready or in_flight:
-                submit_ready(executor, engine_options)
+                submit_ready(pool)
                 if not in_flight:
                     break
                 done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
@@ -253,11 +447,14 @@ class PipelineRunner:
                     if nodes[key].exclusive:
                         exclusive_in_flight = False
                     try:
-                        value, info, cpu_seconds = future.result()
+                        if remote:
+                            info, cpu_seconds = future.result()
+                        else:
+                            value, info, cpu_seconds = future.result()
+                            values[key] = value
                     except BaseException as error:  # noqa: BLE001 - re-raised below
                         failure = failure or error
                         continue
-                    values[key] = value
                     report.stages.append(
                         StageReport(
                             name=info.description,
@@ -273,6 +470,17 @@ class PipelineRunner:
                         if indegree[dependent] == 0:
                             ready.append(dependent)
                     ready.sort(key=order_index.__getitem__)
+        finally:
+            if owned:
+                pool.shutdown(wait=True)
+
+        if failure is None and remote:
+            # Workers persisted every artifact but shipped no values; load
+            # only what the caller consumes — the experiment's terminal
+            # stages — from the store (pure disk/memory hits).  Interior
+            # values (datasets, workloads, models) never reach the driver.
+            for spec in experiment.dependencies():
+                values[spec.spec_hash] = self.store.get_or_build(spec)
 
         report.total_seconds = time.perf_counter() - start
         if failure is not None:
@@ -343,4 +551,5 @@ __all__ = [
     "PipelineReport",
     "StageReport",
     "ENGINE_OPTION_KEYS",
+    "EXECUTORS",
 ]

@@ -433,6 +433,20 @@ class EvalSpec(Spec):
     #: the pool with concurrently training models or the measured latency
     #: would be contention noise frozen into the cached artifact
     exclusive: ClassVar[bool] = True
+    #: wall-clock measurement fields of the saved payload — environment, not
+    #: output; excluded from cross-executor identity digests (everything
+    #: else must be byte-identical between the thread and process backends)
+    TIMING_FIELDS: ClassVar[Tuple[str, ...]] = (
+        "fit_seconds",
+        "estimation_milliseconds",
+    )
+
+    @classmethod
+    def deterministic_payload(cls, payload: Mapping) -> Dict[str, Any]:
+        """``evaluation.json`` content minus the timing measurement fields."""
+        return {
+            key: value for key, value in payload.items() if key not in cls.TIMING_FIELDS
+        }
 
     def __post_init__(self) -> None:
         # The monotonicity knobs are only read when measuring; normalize them

@@ -16,6 +16,18 @@ interrupted run never leaves a half-written artifact that a later run could
 mistake for a finished one; leftover temp directories are swept by
 :meth:`ArtifactStore.gc`.
 
+Concurrent **multi-process** writers are safe: every build runs under an
+advisory ``fcntl.flock`` keyed by ``<kind>/<hash>`` (lock files live under
+``<root>/.locks/``), with the manifest re-checked after the lock is won, so
+two processes racing ``get_or_build`` on one spec build it exactly once —
+the loser blocks on the lock and then replays the winner's artifact from
+disk.  Readers never take the lock: the manifest-presence invariant already
+makes completed artifacts safe to load concurrently.  The same locks let
+``gc`` skip temp directories belonging to a *live* build in another
+process (non-blocking probe), and ``gc(max_bytes=...)`` trims the store to
+a byte budget by evicting least-recently-*used* artifacts first (manifest
+mtime, refreshed on every load).
+
 ``ArtifactStore(root=None)`` is a memory-only store (a per-run memo table
 with the same interface) — the default when no store is activated, so plain
 library calls never touch the filesystem.  Activate an on-disk store for a
@@ -44,11 +56,19 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 from ..obs import MetricsRegistry
 from .specs import Spec, canonical_value
 
+try:  # POSIX advisory file locks; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
 PathLike = Union[str, "os.PathLike[str]"]
 
 MANIFEST_FILE = "manifest.json"
 MANIFEST_FORMAT = "repro-artifact"
 MANIFEST_VERSION = 1
+
+#: directory (under the store root) holding the per-artifact lock files
+LOCKS_DIR = ".locks"
 
 #: environment variable naming the default on-disk store root
 STORE_ENV = "REPRO_ARTIFACTS"
@@ -144,10 +164,19 @@ class ArtifactStore:
     root:
         Store directory, created lazily on first write.  ``None`` makes the
         store memory-only (a per-process memo table, nothing persisted).
+    pin_values:
+        Whether materialized values stay pinned in the in-process memo table
+        (the default — repeated ``get_or_build`` calls within one run share
+        objects).  ``False`` releases every value as soon as it is persisted
+        or loaded, so a driver iterating over million-vector sweep stages
+        holds at most one stage's data at a time; repeated lookups then
+        re-read from disk.  Memory-only stores always pin (releasing would
+        silently discard the only copy).
     """
 
-    def __init__(self, root: Optional[PathLike] = None) -> None:
+    def __init__(self, root: Optional[PathLike] = None, pin_values: bool = True) -> None:
         self.root = None if root is None else Path(root)
+        self.pin_values = bool(pin_values) or self.root is None
         self._memory: Dict[str, Any] = {}
         self._locks: Dict[str, threading.Lock] = {}
         self._locks_guard = threading.Lock()
@@ -224,6 +253,50 @@ class ArtifactStore:
             return self._locks.setdefault(key, threading.Lock())
 
     # ------------------------------------------------------------------ #
+    # Cross-process build locks (advisory flock per <kind>/<hash>)
+    # ------------------------------------------------------------------ #
+    def _lock_path(self, kind: str, spec_hash: str) -> Optional[Path]:
+        if self.root is None or fcntl is None:
+            return None
+        return self.root / LOCKS_DIR / kind / f"{spec_hash}.lock"
+
+    @contextlib.contextmanager
+    def _build_lock(
+        self, kind: str, spec_hash: str, blocking: bool = True
+    ) -> Iterator[bool]:
+        """Hold the cross-process build lock of one artifact.
+
+        Yields ``True`` once the lock is held — or immediately (without any
+        lock) for memory-only stores and platforms without ``fcntl``, where
+        the per-hash thread lock is the only writer exclusion needed.  With
+        ``blocking=False`` yields ``False`` instead of waiting when another
+        process (or another descriptor in this one) holds the lock.
+
+        Lock files are never unlinked: removing a path another process holds
+        a lock on would let a third process lock a *new* inode under the
+        same name, silently breaking mutual exclusion.
+        """
+        path = self._lock_path(kind, spec_hash)
+        if path is None:
+            yield True
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT, 0o644)
+        try:
+            flags = fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB)
+            try:
+                fcntl.flock(fd, flags)
+            except OSError:
+                yield False
+                return
+            try:
+                yield True
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------ #
     # Lookup / build
     # ------------------------------------------------------------------ #
     def contains(self, spec: Spec) -> bool:
@@ -240,7 +313,13 @@ class ArtifactStore:
         return value
 
     def get_or_build_info(self, spec: Spec, **options) -> "tuple[Any, BuildInfo]":
-        """Like :meth:`get_or_build`, also reporting how the value was obtained."""
+        """Like :meth:`get_or_build`, also reporting how the value was obtained.
+
+        Readers are lock-free across processes (an artifact is complete iff
+        its manifest exists); builders additionally hold the per-artifact
+        ``flock`` so concurrent processes racing the same spec build it
+        exactly once — the loser blocks, then replays the winner's artifact.
+        """
         key = spec.spec_hash
         start = time.perf_counter()
         with self._lock_for(key):
@@ -251,24 +330,42 @@ class ArtifactStore:
 
             path = self.path_for(spec)
             if path is not None and (path / MANIFEST_FILE).is_file():
-                self._warn_version_mismatch(path)
-                value = spec.load_artifact(path, self)
-                with contextlib.suppress(OSError):  # LRU recency for eviction
-                    os.utime(path / MANIFEST_FILE)
-                self._memory[key] = value
+                return self._load_disk(spec, key, path, start)
+
+            if path is None:
+                value = spec.build(self, **options)
                 seconds = time.perf_counter() - start
-                info = BuildInfo(spec.kind, key, spec.describe(), "disk", seconds)
-                self._record(spec.kind, "disk")
+                self._memory[key] = value
+                info = BuildInfo(spec.kind, key, spec.describe(), False, seconds)
+                self._record(spec.kind, False)
                 return value, info
 
-            value = spec.build(self, **options)
-            seconds = time.perf_counter() - start
-            if path is not None:
+            with self._build_lock(spec.kind, key):
+                # Another process may have finished this artifact while we
+                # waited for the lock; its manifest makes it ours to replay.
+                if (path / MANIFEST_FILE).is_file():
+                    return self._load_disk(spec, key, path, start)
+                value = spec.build(self, **options)
+                seconds = time.perf_counter() - start
                 self._persist(spec, value, seconds)
-            self._memory[key] = value
+            if self.pin_values:
+                self._memory[key] = value
             info = BuildInfo(spec.kind, key, spec.describe(), False, seconds)
             self._record(spec.kind, False)
             return value, info
+
+    def _load_disk(self, spec: Spec, key: str, path: Path, start: float):
+        """Replay a complete on-disk artifact (caller holds the thread lock)."""
+        self._warn_version_mismatch(path)
+        value = spec.load_artifact(path, self)
+        with contextlib.suppress(OSError):  # LRU recency for eviction
+            os.utime(path / MANIFEST_FILE)
+        if self.pin_values:
+            self._memory[key] = value
+        seconds = time.perf_counter() - start
+        info = BuildInfo(spec.kind, key, spec.describe(), "disk", seconds)
+        self._record(spec.kind, "disk")
+        return value, info
 
     def _record(self, kind: str, cached) -> None:
         # Independent pipeline stages complete on different pool threads; the
@@ -379,8 +476,22 @@ class ArtifactStore:
         (that is what makes repeated ``get_or_build`` calls within one run
         share objects); a long-lived store that has finished a batch of
         experiments should call this to release datasets and models.
+        Construct the store with ``pin_values=False`` to never pin at all.
         """
         self._memory.clear()
+
+    def release(self, spec_or_hash: Union[Spec, str]) -> bool:
+        """Drop one pinned value (persistent stores only; the artifact stays
+        on disk and the next lookup replays it).  Returns whether a value
+        was actually pinned."""
+        if self.root is None:
+            raise ValueError("a memory-only store cannot release values")
+        key = (
+            spec_or_hash.spec_hash
+            if isinstance(spec_or_hash, Spec)
+            else str(spec_or_hash)
+        )
+        return self._memory.pop(key, None) is not None
 
     # ------------------------------------------------------------------ #
     # Eviction
@@ -415,42 +526,109 @@ class ArtifactStore:
             removed.append(entry)
         return removed
 
-    #: temp dirs younger than this survive gc — they may be a live build in
-    #: another process (interrupted-build leftovers are much older)
+    #: temp dirs younger than this survive gc when the per-hash lock probe
+    #: is unavailable (no fcntl) — they may be a live build in another
+    #: process (interrupted-build leftovers are much older)
     TMP_SWEEP_MIN_AGE_SECONDS = 3600.0
 
     def gc(
         self,
         kinds: Optional[Sequence[str]] = None,
         older_than_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
         dry_run: bool = False,
     ) -> Dict[str, Any]:
-        """Evict matching artifacts and sweep interrupted-build temp dirs."""
-        removed = self.evict(kinds=kinds, older_than_seconds=older_than_seconds, dry_run=dry_run)
-        temp_swept = 0
-        now = time.time()
-        if self.root is not None and self.root.is_dir():
-            for kind_dir in self.root.iterdir():
-                if not kind_dir.is_dir():
-                    continue
-                for child in kind_dir.iterdir():
-                    if not (child.is_dir() and child.name.startswith(_TMP_PREFIX)):
-                        continue
-                    try:
-                        age = now - child.stat().st_mtime
-                    except OSError:
-                        continue
-                    if age < self.TMP_SWEEP_MIN_AGE_SECONDS:
-                        continue
-                    if not dry_run:
-                        shutil.rmtree(child, ignore_errors=True)
-                    temp_swept += 1
+        """Evict matching artifacts and sweep interrupted-build temp dirs.
+
+        ``max_bytes`` trims the store (after any kind/age eviction) to a
+        byte budget by removing least-recently-used artifacts first —
+        recency is the manifest mtime, refreshed on every load, and sizes
+        are the byte-accounted artifact tree sizes of
+        :meth:`list_artifacts`.  With *only* ``max_bytes`` given, nothing
+        is evicted unconditionally: the store is just trimmed to budget.
+        """
+        removed: List[Dict[str, Any]] = []
+        if kinds is not None or older_than_seconds is not None or max_bytes is None:
+            removed = self.evict(
+                kinds=kinds, older_than_seconds=older_than_seconds, dry_run=dry_run
+            )
+        temp_swept = self._sweep_temp_dirs(dry_run=dry_run)
+        if max_bytes is not None:
+            removed.extend(self._trim_to_bytes(int(max_bytes), dry_run=dry_run))
         return {
             "removed": removed,
             "removed_bytes": sum(entry["size_bytes"] for entry in removed),
             "temp_dirs_swept": temp_swept,
+            "max_bytes": max_bytes,
             "dry_run": dry_run,
         }
+
+    def _sweep_temp_dirs(self, dry_run: bool = False) -> int:
+        """Remove interrupted-build ``.tmp-*`` directories.
+
+        A live builder in another process holds the per-``<kind>/<hash>``
+        flock for the whole build-and-persist window, so a non-blocking
+        probe distinguishes its in-flight temp dir (skip) from a crashed
+        build's leftover (sweep).  Where the lock probe is unavailable the
+        conservative age threshold applies instead.
+        """
+        temp_swept = 0
+        now = time.time()
+        if self.root is None or not self.root.is_dir():
+            return temp_swept
+        for kind_dir in self.root.iterdir():
+            if not kind_dir.is_dir() or kind_dir.name == LOCKS_DIR:
+                continue
+            for child in kind_dir.iterdir():
+                if not (child.is_dir() and child.name.startswith(_TMP_PREFIX)):
+                    continue
+                # .tmp-<hash>-<suffix> (see _persist)
+                spec_hash = child.name[len(_TMP_PREFIX):].rsplit("-", 1)[0]
+                if self._lock_path(kind_dir.name, spec_hash) is not None:
+                    with self._build_lock(
+                        kind_dir.name, spec_hash, blocking=False
+                    ) as acquired:
+                        if not acquired:
+                            continue  # live build in another process
+                        if not dry_run:
+                            shutil.rmtree(child, ignore_errors=True)
+                    temp_swept += 1
+                    continue
+                try:
+                    age = now - child.stat().st_mtime
+                except OSError:
+                    continue
+                if age < self.TMP_SWEEP_MIN_AGE_SECONDS:
+                    continue
+                if not dry_run:
+                    shutil.rmtree(child, ignore_errors=True)
+                temp_swept += 1
+        return temp_swept
+
+    def _trim_to_bytes(self, max_bytes: int, dry_run: bool = False) -> List[Dict[str, Any]]:
+        """LRU-evict artifacts until the store fits in ``max_bytes``.
+
+        Artifacts whose build lock is held by another process are skipped
+        (their bytes still count — the next gc retries them).
+        """
+        entries = sorted(self.list_artifacts(), key=lambda entry: entry["last_used_at"])
+        total = sum(entry["size_bytes"] for entry in entries)
+        removed: List[Dict[str, Any]] = []
+        for entry in entries:
+            if total <= max_bytes:
+                break
+            if dry_run:
+                total -= entry["size_bytes"]
+                removed.append(entry)
+                continue
+            with self._build_lock(entry["kind"], entry["hash"], blocking=False) as acquired:
+                if not acquired:
+                    continue
+                shutil.rmtree(entry["path"], ignore_errors=True)
+            self._memory.pop(entry["hash"], None)
+            total -= entry["size_bytes"]
+            removed.append(entry)
+        return removed
 
 
 def _tree_size(path: Path) -> int:
@@ -507,6 +685,7 @@ __all__ = [
     "BuildInfo",
     "StoreStats",
     "MANIFEST_FILE",
+    "LOCKS_DIR",
     "STORE_ENV",
     "DEFAULT_STORE_DIR",
     "get_active_store",
